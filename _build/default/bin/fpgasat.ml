@@ -1,0 +1,537 @@
+(* fpgasat — command-line front end for the SAT-based FPGA detailed router.
+
+   Subcommands mirror the paper's tool flow: generate a benchmark instance,
+   export its conflict graph (DIMACS .col), encode a width query to DIMACS
+   CNF under any of the 15 encodings, decide routability (with optional DRAT
+   proof), search the minimal width, run strategy portfolios, and solve
+   arbitrary DIMACS CNF / colouring files with the built-in CDCL solver. *)
+
+module Sat = Fpgasat_sat
+module G = Fpgasat_graph
+module E = Fpgasat_encodings
+module F = Fpgasat_fpga
+module C = Fpgasat_core
+module Bdd = Fpgasat_bdd
+open Cmdliner
+
+(* ---------- converters and shared arguments ---------- *)
+
+let benchmark_conv =
+  let parse s =
+    match F.Benchmarks.find s with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown benchmark %S (expected one of: %s)" s
+               (String.concat ", " F.Benchmarks.names)))
+  in
+  let print fmt (spec : F.Benchmarks.spec) =
+    Format.pp_print_string fmt spec.F.Benchmarks.name
+  in
+  Arg.conv (parse, print)
+
+let strategy_conv =
+  let parse s =
+    match C.Strategy.of_name s with Ok s -> Ok s | Error m -> Error (`Msg m)
+  in
+  let print fmt s = Format.pp_print_string fmt (C.Strategy.name s) in
+  Arg.conv (parse, print)
+
+let encoding_conv =
+  let parse s =
+    match E.Encoding.of_name s with Ok e -> Ok e | Error m -> Error (`Msg m)
+  in
+  Arg.conv (parse, E.Encoding.pp)
+
+let benchmark_pos =
+  Arg.(required & pos 0 (some benchmark_conv) None
+       & info [] ~docv:"BENCHMARK" ~doc:"Benchmark name (see $(b,list)).")
+
+let width_arg =
+  Arg.(required & opt (some int) None
+       & info [ "w"; "width" ] ~docv:"W" ~doc:"Tracks per channel.")
+
+let strategy_arg =
+  Arg.(value & opt strategy_conv C.Strategy.best_single
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Strategy: <encoding>[/<b1|s1|none>][@<siege|minisat>].")
+
+let budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "budget" ] ~docv:"SEC" ~doc:"CPU-time budget for the SAT solver.")
+
+let budget_of = function
+  | None -> Sat.Solver.no_budget
+  | Some s -> Sat.Solver.time_budget s
+
+let build_instance spec = F.Benchmarks.build spec
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "Benchmarks (synthetic MCNC stand-ins):";
+    List.iter
+      (fun (spec : F.Benchmarks.spec) ->
+        Printf.printf "  %-10s grid=%dx%d nets=%d seed=%d\n" spec.F.Benchmarks.name
+          spec.F.Benchmarks.grid spec.F.Benchmarks.grid spec.F.Benchmarks.nets
+          spec.F.Benchmarks.seed)
+      F.Benchmarks.specs;
+    print_endline "\nEncodings:";
+    List.iter
+      (fun e -> Printf.printf "  %s\n" (E.Encoding.name e))
+      E.Registry.all;
+    print_endline "\nSymmetry-breaking heuristics: b1, s1";
+    print_endline "Solver presets: siege, minisat"
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmarks, encodings and heuristics.")
+    Term.(const run $ const ())
+
+(* ---------- info ---------- *)
+
+let info_cmd =
+  let run spec =
+    let inst = build_instance spec in
+    Format.printf "%a@." F.Benchmarks.pp_instance inst;
+    let congestion = F.Congestion.of_route inst.F.Benchmarks.route in
+    Format.printf "congestion histogram (usage:segments): %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " ")
+         (fun fmt (u, c) -> Format.fprintf fmt "%d:%d" u c))
+      (F.Congestion.histogram congestion);
+    Printf.printf "clique lower bound: %d\nDSATUR upper bound: %d\n"
+      (G.Clique.lower_bound inst.F.Benchmarks.graph)
+      (G.Greedy.upper_bound inst.F.Benchmarks.graph);
+    Printf.printf "total wirelength: %d\n"
+      (F.Global_route.total_wirelength inst.F.Benchmarks.route)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Describe a benchmark instance.")
+    Term.(const run $ benchmark_pos)
+
+(* ---------- export ---------- *)
+
+let export_cmd =
+  let col =
+    Arg.(value & opt (some string) None
+         & info [ "col" ] ~docv:"FILE" ~doc:"Write the conflict graph as DIMACS .col.")
+  in
+  let dot =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write the conflict graph as Graphviz DOT.")
+  in
+  let run spec col dot =
+    let inst = build_instance spec in
+    let graph = inst.F.Benchmarks.graph in
+    let comments =
+      [
+        Printf.sprintf "conflict graph of benchmark %s" spec.F.Benchmarks.name;
+        Printf.sprintf "vertices = 2-pin subnets (%d), edges = shared channel segments (%d)"
+          (G.Graph.num_vertices graph) (G.Graph.num_edges graph);
+      ]
+    in
+    (match col with
+    | Some path ->
+        G.Dimacs_col.write_file path ~comments graph;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    (match dot with
+    | Some path ->
+        G.Dot.write_file path ~name:spec.F.Benchmarks.name graph;
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if col = None && dot = None then
+      print_string (G.Dimacs_col.to_string ~comments graph)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a benchmark's conflict graph (.col to stdout by default).")
+    Term.(const run $ benchmark_pos $ col $ dot)
+
+(* ---------- encode ---------- *)
+
+let encode_cmd =
+  let enc =
+    Arg.(value & opt encoding_conv (List.hd E.Registry.new_encodings)
+         & info [ "e"; "encoding" ] ~docv:"ENC" ~doc:"Encoding to use.")
+  in
+  let sym =
+    Arg.(value & opt (some string) None
+         & info [ "symmetry" ] ~docv:"H" ~doc:"Symmetry heuristic: b1 or s1.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run spec width enc sym out =
+    let symmetry =
+      Option.map
+        (fun s ->
+          match E.Symmetry.of_name s with
+          | Some h -> h
+          | None -> failwith (Printf.sprintf "unknown symmetry heuristic %S" s))
+        sym
+    in
+    let inst = build_instance spec in
+    let csp = F.Conflict_graph.csp inst.F.Benchmarks.route ~w:width in
+    let encoded = E.Csp_encode.encode ?symmetry enc csp in
+    let comments =
+      [
+        Printf.sprintf "%s at W=%d, encoding %s, symmetry %s"
+          spec.F.Benchmarks.name width (E.Encoding.name enc)
+          (match symmetry with None -> "-" | Some h -> E.Symmetry.name h);
+      ]
+    in
+    match out with
+    | Some path ->
+        Sat.Dimacs_cnf.write_file path ~comments encoded.E.Csp_encode.cnf;
+        Format.printf "wrote %s (%a)@." path Sat.Cnf.pp_stats encoded.E.Csp_encode.cnf
+    | None -> print_string (Sat.Dimacs_cnf.to_string ~comments encoded.E.Csp_encode.cnf)
+  in
+  Cmd.v
+    (Cmd.info "encode" ~doc:"Encode a width query as DIMACS CNF.")
+    Term.(const run $ benchmark_pos $ width_arg $ enc $ sym $ out)
+
+(* ---------- route ---------- *)
+
+let route_cmd =
+  let proof_arg =
+    Arg.(value & opt (some string) None
+         & info [ "proof" ] ~docv:"FILE" ~doc:"Write a DRAT refutation on UNSAT.")
+  in
+  let tracks_arg =
+    Arg.(value & flag & info [ "tracks" ] ~doc:"Print the per-subnet track assignment.")
+  in
+  let run spec width strat budget proof_file tracks =
+    let inst = build_instance spec in
+    let run =
+      C.Flow.check_width ~strategy:strat ~budget:(budget_of budget)
+        ~want_proof:(proof_file <> None) inst.F.Benchmarks.route ~width
+    in
+    Printf.printf "benchmark %s, W=%d, strategy %s\n" spec.F.Benchmarks.name width
+      (C.Strategy.name strat);
+    Printf.printf
+      "cnf: %d vars, %d clauses; times: graph %.3fs, cnf %.3fs, solve %.3fs\n"
+      run.C.Flow.cnf_vars run.C.Flow.cnf_clauses run.C.Flow.timings.C.Flow.to_graph
+      run.C.Flow.timings.C.Flow.to_cnf run.C.Flow.timings.C.Flow.solving;
+    Format.printf "solver: %a@." Sat.Stats.pp run.C.Flow.solver_stats;
+    match run.C.Flow.outcome with
+    | C.Flow.Routable detailed ->
+        Printf.printf "ROUTABLE: detailed routing with %d tracks found and verified\n"
+          width;
+        if tracks then
+          Array.iteri
+            (fun id t -> Printf.printf "  subnet %d -> track %d\n" id t)
+            detailed.F.Detailed_route.tracks;
+        `Ok ()
+    | C.Flow.Unroutable ->
+        Printf.printf "UNROUTABLE: no detailed routing with %d tracks exists\n" width;
+        (match (proof_file, run.C.Flow.proof) with
+        | Some path, Some proof ->
+            let oc = open_out path in
+            Sat.Proof.output oc proof;
+            close_out oc;
+            Printf.printf "DRAT refutation written to %s (%d steps)\n" path
+              (Sat.Proof.num_steps proof)
+        | _ -> ());
+        `Ok ()
+    | C.Flow.Timeout ->
+        Printf.printf "TIMEOUT: budget exhausted without an answer\n";
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Decide detailed routability at a given width.")
+    Term.(ret (const run $ benchmark_pos $ width_arg $ strategy_arg $ budget_arg
+               $ proof_arg $ tracks_arg))
+
+(* ---------- min-width ---------- *)
+
+let min_width_cmd =
+  let run spec strat budget =
+    let inst = build_instance spec in
+    match
+      C.Binary_search.minimal_width ~strategy:strat ~budget:(budget_of budget)
+        inst.F.Benchmarks.route
+    with
+    | Error m -> `Error (false, m)
+    | Ok r ->
+        Printf.printf "minimal channel width of %s: W = %d\n" spec.F.Benchmarks.name
+          r.C.Binary_search.w_min;
+        (match r.C.Binary_search.unsat_below with
+        | Some run ->
+            Printf.printf
+              "optimality: W = %d proven unroutable by SAT (%.3fs solve)\n"
+              (r.C.Binary_search.w_min - 1)
+              run.C.Flow.timings.C.Flow.solving
+        | None ->
+            Printf.printf
+              "optimality: W = %d impossible structurally (clique bound)\n"
+              (r.C.Binary_search.w_min - 1));
+        Printf.printf "SAT queries made: %d\n" (List.length r.C.Binary_search.runs);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "min-width"
+       ~doc:"Find the minimal channel width, with an optimality proof.")
+    Term.(ret (const run $ benchmark_pos $ strategy_arg $ budget_arg))
+
+(* ---------- portfolio ---------- *)
+
+let portfolio_cmd =
+  let members_arg =
+    Arg.(value & opt (list strategy_conv) C.Strategy.paper_portfolio_3
+         & info [ "members" ] ~docv:"S1,S2,..."
+             ~doc:"Portfolio members (default: the paper's 3-strategy portfolio).")
+  in
+  let parallel_arg =
+    Arg.(value & flag
+         & info [ "parallel" ]
+             ~doc:"Really run one domain per member (default: sequential simulation).")
+  in
+  let run spec width members parallel budget =
+    let inst = build_instance spec in
+    let result =
+      if parallel then
+        C.Portfolio.run_parallel ~budget:(budget_of budget) members
+          inst.F.Benchmarks.route ~width
+      else
+        C.Portfolio.run_simulated ~budget:(budget_of budget) members
+          inst.F.Benchmarks.route ~width
+    in
+    List.iter
+      (fun (m : C.Portfolio.member_result) ->
+        Printf.printf "  %-45s %s  cpu %.3fs  wall %.3fs\n"
+          (C.Strategy.name m.C.Portfolio.strategy)
+          (match m.C.Portfolio.run.C.Flow.outcome with
+          | C.Flow.Routable _ -> "ROUTABLE "
+          | C.Flow.Unroutable -> "UNROUTABLE"
+          | C.Flow.Timeout -> "cancelled/timeout")
+          (C.Flow.total m.C.Portfolio.run.C.Flow.timings)
+          m.C.Portfolio.wall_seconds)
+      result.C.Portfolio.members;
+    match result.C.Portfolio.winner with
+    | Some w ->
+        Printf.printf "winner: %s\n" (C.Strategy.name w.C.Portfolio.strategy);
+        `Ok ()
+    | None -> `Error (false, "no member answered within the budget")
+  in
+  Cmd.v
+    (Cmd.info "portfolio" ~doc:"Run a portfolio of strategies on one width query.")
+    Term.(ret (const run $ benchmark_pos $ width_arg $ members_arg $ parallel_arg
+               $ budget_arg))
+
+(* ---------- render ---------- *)
+
+let render_cmd =
+  let subnet_arg =
+    Arg.(value & opt (some int) None
+         & info [ "subnet" ] ~docv:"ID" ~doc:"Show this subnet's path instead.")
+  in
+  let run spec subnet =
+    let inst = build_instance spec in
+    match subnet with
+    | None -> print_string (F.Render.congestion_map inst.F.Benchmarks.route)
+    | Some id ->
+        if id < 0 || id >= F.Netlist.num_subnets inst.F.Benchmarks.netlist then
+          prerr_endline "subnet id out of range"
+        else print_string (F.Render.subnet_path inst.F.Benchmarks.route id)
+  in
+  Cmd.v
+    (Cmd.info "render"
+       ~doc:"ASCII view of a benchmark's congestion map (or one subnet's path).")
+    Term.(const run $ benchmark_pos $ subnet_arg)
+
+(* ---------- route-file: user-provided netlists ---------- *)
+
+let route_file_cmd =
+  let nets_arg =
+    Arg.(required & opt (some file) None
+         & info [ "nets" ] ~docv:"FILE" ~doc:"Netlist file (see Serial format).")
+  in
+  let routes_arg =
+    Arg.(value & opt (some file) None
+         & info [ "routes" ] ~docv:"FILE"
+             ~doc:"Global routing file; omitted = run the built-in global router.")
+  in
+  let save_routes_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save-routes" ] ~docv:"FILE" ~doc:"Write the global routing used.")
+  in
+  let run nets_file routes_file save_routes width strat budget =
+    match F.Serial.read_netlist nets_file with
+    | exception F.Serial.Parse_error m -> `Error (false, m)
+    | arch, netlist -> (
+        let route =
+          match routes_file with
+          | Some path -> F.Serial.read_routes ~netlist path
+          | None -> F.Global_router.route arch netlist
+        in
+        (match save_routes with
+        | Some path ->
+            F.Serial.write_routes path route;
+            Printf.printf "wrote %s
+" path
+        | None -> ());
+        let run =
+          C.Flow.check_width ~strategy:strat ~budget:(budget_of budget) route ~width
+        in
+        match run.C.Flow.outcome with
+        | C.Flow.Routable d ->
+            Printf.printf "ROUTABLE with %d tracks; track assignment:
+" width;
+            Array.iteri
+              (fun id t -> Printf.printf "  subnet %d -> track %d
+" id t)
+              d.F.Detailed_route.tracks;
+            `Ok ()
+        | C.Flow.Unroutable ->
+            Printf.printf "UNROUTABLE with %d tracks
+" width;
+            `Ok ()
+        | C.Flow.Timeout ->
+            Printf.printf "TIMEOUT
+";
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "route-file"
+       ~doc:"Decide routability of a user-provided netlist (and optional routes).")
+    Term.(ret (const run $ nets_arg $ routes_arg $ save_routes_arg $ width_arg
+               $ strategy_arg $ budget_arg))
+
+(* ---------- solve (standalone DIMACS CNF) ---------- *)
+
+let solve_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf")
+  in
+  let solver_arg =
+    Arg.(value & opt (enum [ ("siege", `Siege_like); ("minisat", `Minisat_like) ])
+           `Siege_like
+         & info [ "solver" ] ~docv:"NAME" ~doc:"Solver preset: siege or minisat.")
+  in
+  let run file solver budget =
+    match Sat.Dimacs_cnf.parse_file file with
+    | exception Sat.Dimacs_cnf.Parse_error m -> `Error (false, m)
+    | cnf ->
+        let config =
+          match solver with
+          | `Siege_like -> Sat.Solver.siege_like
+          | `Minisat_like -> Sat.Solver.minisat_like
+        in
+        let t0 = Sys.time () in
+        let result, stats = Sat.Solver.solve ~config ~budget:(budget_of budget) cnf in
+        Format.printf "c %a@.c %.3fs CPU@." Sat.Stats.pp stats (Sys.time () -. t0);
+        (match result with
+        | Sat.Solver.Sat model ->
+            print_endline "s SATISFIABLE";
+            print_string "v ";
+            Array.iteri
+              (fun v b -> Printf.printf "%d " (if b then v + 1 else -(v + 1)))
+              model;
+            print_endline "0"
+        | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
+        | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a DIMACS CNF file with the built-in CDCL solver.")
+    Term.(ret (const run $ file_arg $ solver_arg $ budget_arg))
+
+(* ---------- color (standalone .col colouring) ---------- *)
+
+let color_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.col")
+  in
+  let k_arg =
+    Arg.(required & opt (some int) None
+         & info [ "k" ] ~docv:"K" ~doc:"Number of colours.")
+  in
+  let enc =
+    Arg.(value & opt encoding_conv (List.hd E.Registry.new_encodings)
+         & info [ "e"; "encoding" ] ~docv:"ENC" ~doc:"Encoding to use.")
+  in
+  let sym =
+    Arg.(value & opt (some string) None
+         & info [ "symmetry" ] ~docv:"H" ~doc:"Symmetry heuristic: b1 or s1.")
+  in
+  let method_arg =
+    Arg.(value
+         & opt (enum [ ("sat", `Sat); ("exact", `Exact); ("bdd", `Bdd);
+                       ("walksat", `Walksat) ]) `Sat
+         & info [ "method" ] ~docv:"M"
+             ~doc:"sat (encode + CDCL), exact (branch and bound), bdd, or walksat.")
+  in
+  let run file k enc sym budget method_ =
+    match G.Dimacs_col.parse_file file with
+    | exception G.Dimacs_col.Parse_error m -> `Error (false, m)
+    | graph ->
+        let print_coloring coloring =
+          assert (G.Coloring.is_proper graph ~k coloring);
+          Printf.printf "COLORABLE with %d colours\n" k;
+          Array.iteri (fun v c -> Printf.printf "  %d -> %d\n" v c) coloring
+        in
+        let sat_based use_walksat =
+          let symmetry =
+            Option.map
+              (fun s ->
+                match E.Symmetry.of_name s with
+                | Some h -> h
+                | None -> failwith (Printf.sprintf "unknown heuristic %S" s))
+              sym
+          in
+          let csp = E.Csp.make graph ~k in
+          let encoded = E.Csp_encode.encode ?symmetry enc csp in
+          if use_walksat then
+            match Sat.Walksat.solve encoded.E.Csp_encode.cnf with
+            | Sat.Walksat.Sat model, flips ->
+                print_coloring (E.Csp_encode.decode encoded model);
+                Printf.printf "(%d flips)\n" flips
+            | Sat.Walksat.Unknown, _ ->
+                print_endline "UNKNOWN (local search found no model)"
+          else
+            let result, _ =
+              Sat.Solver.solve ~budget:(budget_of budget) encoded.E.Csp_encode.cnf
+            in
+            match result with
+            | Sat.Solver.Sat model -> print_coloring (E.Csp_encode.decode encoded model)
+            | Sat.Solver.Unsat -> Printf.printf "NOT %d-colourable\n" k
+            | Sat.Solver.Unknown -> print_endline "UNKNOWN (budget exhausted)"
+        in
+        (match method_ with
+        | `Exact -> (
+            match G.Exact_coloring.k_colorable graph ~k with
+            | G.Exact_coloring.Colorable c -> print_coloring c
+            | G.Exact_coloring.Uncolorable -> Printf.printf "NOT %d-colourable\n" k
+            | G.Exact_coloring.Exhausted -> print_endline "UNKNOWN (node budget)")
+        | `Bdd -> (
+            match Bdd.Coloring_bdd.k_colorable graph ~k with
+            | Bdd.Coloring_bdd.Colorable c ->
+                print_coloring c;
+                (match Bdd.Coloring_bdd.count_colorings graph ~k with
+                | Some count -> Printf.printf "proper colourings: %.0f\n" count
+                | None -> ())
+            | Bdd.Coloring_bdd.Uncolorable -> Printf.printf "NOT %d-colourable\n" k
+            | Bdd.Coloring_bdd.Node_limit -> print_endline "UNKNOWN (BDD node limit)")
+        | `Sat -> sat_based false
+        | `Walksat -> sat_based true);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "color" ~doc:"K-colour a DIMACS .col graph via a SAT encoding.")
+    Term.(ret (const run $ file_arg $ k_arg $ enc $ sym $ budget_arg $ method_arg))
+
+(* ---------- main ---------- *)
+
+let () =
+  let doc = "SAT-based FPGA detailed routing (reproduction of Velev & Gao, DATE 2008)" in
+  let info = Cmd.info "fpgasat" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd; info_cmd; export_cmd; encode_cmd; route_cmd; min_width_cmd;
+            portfolio_cmd; solve_cmd; color_cmd; render_cmd; route_file_cmd;
+          ]))

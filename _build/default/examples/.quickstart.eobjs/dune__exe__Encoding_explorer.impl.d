@@ -1,0 +1,1 @@
+examples/encoding_explorer.ml: Fpgasat_core Fpgasat_encodings Fpgasat_fpga Fpgasat_sat List Option Printf

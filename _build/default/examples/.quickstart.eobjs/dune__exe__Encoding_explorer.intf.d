@@ -1,0 +1,1 @@
+examples/encoding_explorer.mli:

@@ -1,0 +1,1 @@
+examples/portfolio_race.ml: Format Fpgasat_core Fpgasat_fpga Fpgasat_sat List Option Printf Unix

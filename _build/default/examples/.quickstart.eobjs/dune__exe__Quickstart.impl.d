@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Fpgasat_core Fpgasat_fpga Fpgasat_graph List Printf String

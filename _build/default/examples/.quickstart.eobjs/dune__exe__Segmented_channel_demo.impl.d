@@ -1,0 +1,1 @@
+examples/segmented_channel_demo.ml: Array Fpgasat_channel Fpgasat_encodings List Printf String

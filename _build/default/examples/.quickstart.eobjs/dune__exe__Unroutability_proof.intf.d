@@ -1,0 +1,1 @@
+examples/unroutability_proof.mli:

@@ -1,0 +1,1 @@
+lib/bdd/fpgasat_bdd.ml: Bdd Coloring_bdd

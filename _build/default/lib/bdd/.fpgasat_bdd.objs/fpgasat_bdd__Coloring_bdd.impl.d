@@ -1,0 +1,1 @@
+lib/bdd/coloring_bdd.ml: Array Bdd Fpgasat_graph Fun List

@@ -1,0 +1,1 @@
+lib/bdd/coloring_bdd.mli: Fpgasat_graph

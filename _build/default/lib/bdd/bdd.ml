@@ -1,0 +1,155 @@
+exception Node_limit_exceeded
+
+(* Nodes are integers: 0 = false, 1 = true, otherwise an index into the
+   node arrays. Reduction invariant: low <> high, and every (var, low,
+   high) triple is unique. *)
+type manager = {
+  max_nodes : int;
+  mutable vars : int array; (* node -> branching variable *)
+  mutable lows : int array;
+  mutable highs : int array;
+  mutable next : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  apply_cache : (int * int * int, int) Hashtbl.t; (* (op, a, b) -> node *)
+}
+
+type t = int
+
+let manager ?(max_nodes = 2_000_000) () =
+  let initial = 1024 in
+  {
+    max_nodes;
+    vars = Array.make initial max_int;
+    lows = Array.make initial 0;
+    highs = Array.make initial 0;
+    next = 2;
+    unique = Hashtbl.create 4096;
+    apply_cache = Hashtbl.create 4096;
+  }
+
+let zero _ = 0
+let one _ = 1
+let is_zero t = t = 0
+let is_one t = t = 1
+let equal (a : t) (b : t) = a = b
+let var_of m node = if node < 2 then max_int else m.vars.(node)
+
+let mk m v low high =
+  if low = high then low
+  else
+    match Hashtbl.find_opt m.unique (v, low, high) with
+    | Some node -> node
+    | None ->
+        if m.next >= m.max_nodes then raise Node_limit_exceeded;
+        if m.next >= Array.length m.vars then begin
+          let cap = 2 * Array.length m.vars in
+          let grow a =
+            let b = Array.make cap 0 in
+            Array.blit a 0 b 0 (Array.length a);
+            b
+          in
+          m.vars <- grow m.vars;
+          m.lows <- grow m.lows;
+          m.highs <- grow m.highs
+        end;
+        let node = m.next in
+        m.next <- node + 1;
+        m.vars.(node) <- v;
+        m.lows.(node) <- low;
+        m.highs.(node) <- high;
+        Hashtbl.add m.unique (v, low, high) node;
+        node
+
+let var m i = mk m i 0 1
+let nvar m i = mk m i 1 0
+
+(* binary apply with memoisation; op codes: 0 and, 1 or, 2 xor *)
+let rec apply m op a b =
+  let terminal =
+    match (op, a, b) with
+    | 0, 0, _ | 0, _, 0 -> Some 0
+    | 0, 1, x | 0, x, 1 -> Some x
+    | 1, 1, _ | 1, _, 1 -> Some 1
+    | 1, 0, x | 1, x, 0 -> Some x
+    | 2, 0, x | 2, x, 0 -> Some x
+    | 2, 1, x | 2, x, 1 -> if x < 2 then Some (1 - x) else None
+    | _ -> if a = b then Some (match op with 0 | 1 -> a | _ -> 0) else None
+  in
+  match terminal with
+  | Some node -> node
+  | None -> (
+      let key = (op, min a b, max a b) in
+      match Hashtbl.find_opt m.apply_cache key with
+      | Some node -> node
+      | None ->
+          let va = var_of m a and vb = var_of m b in
+          let v = min va vb in
+          let a0, a1 = if va = v then (m.lows.(a), m.highs.(a)) else (a, a) in
+          let b0, b1 = if vb = v then (m.lows.(b), m.highs.(b)) else (b, b) in
+          let low = apply m op a0 b0 in
+          let high = apply m op a1 b1 in
+          let node = mk m v low high in
+          Hashtbl.add m.apply_cache key node;
+          node)
+
+let bdd_and m a b = apply m 0 a b
+let bdd_or m a b = apply m 1 a b
+let bdd_xor m a b = apply m 2 a b
+let bdd_not m a = bdd_xor m a 1
+let ite m i t e = bdd_or m (bdd_and m i t) (bdd_and m (bdd_not m i) e)
+
+let size m root =
+  let seen = Hashtbl.create 64 in
+  let rec go node =
+    if node >= 2 && not (Hashtbl.mem seen node) then begin
+      Hashtbl.add seen node ();
+      go m.lows.(node);
+      go m.highs.(node)
+    end
+  in
+  go root;
+  Hashtbl.length seen + min 2 (if root < 2 then 1 else 2)
+
+let live_nodes m = m.next
+
+let any_sat m root =
+  if root = 0 then raise Not_found;
+  let rec go node acc =
+    if node = 1 then List.rev acc
+    else begin
+      assert (node <> 0);
+      let v = m.vars.(node) in
+      if m.lows.(node) <> 0 then go m.lows.(node) ((v, false) :: acc)
+      else go m.highs.(node) ((v, true) :: acc)
+    end
+  in
+  go root []
+
+let sat_count m ~nvars root =
+  let memo = Hashtbl.create 64 in
+  (* count over the remaining variable range [v, nvars) *)
+  let rec go node v =
+    if node = 0 then 0.
+    else if node = 1 then 2. ** float_of_int (nvars - v)
+    else
+      let nv = m.vars.(node) in
+      let skip = 2. ** float_of_int (nv - v) in
+      let inner =
+        match Hashtbl.find_opt memo node with
+        | Some c -> c
+        | None ->
+            let c = go m.lows.(node) (nv + 1) +. go m.highs.(node) (nv + 1) in
+            Hashtbl.add memo node c;
+            c
+      in
+      skip *. inner
+  in
+  go root 0
+
+let eval m root assignment =
+  let rec go node =
+    if node < 2 then node = 1
+    else if assignment m.vars.(node) then go m.highs.(node)
+    else go m.lows.(node)
+  in
+  go root

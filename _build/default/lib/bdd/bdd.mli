@@ -1,0 +1,52 @@
+(** Reduced ordered binary decision diagrams.
+
+    A small ROBDD package with hash-consed nodes and memoised operations —
+    the technology Wood & Rutenbar used for FPGA routability before SAT
+    solvers took over (paper, Sect. 1). Kept deliberately simple; the
+    [max_nodes] limit exists because exceeding memory is the expected
+    behaviour on all but small routing instances, and the comparison bench
+    measures exactly where that cliff is.
+
+    Variables are integers [0 .. n-1]; the variable order is the integer
+    order. All nodes live in a {!manager}. *)
+
+type manager
+type t
+(** A BDD rooted in some manager node. Only combine BDDs from the same
+    manager. *)
+
+exception Node_limit_exceeded
+
+val manager : ?max_nodes:int -> unit -> manager
+(** [max_nodes] (default 2,000,000) bounds the unique table;
+    {!Node_limit_exceeded} is raised beyond it. *)
+
+val zero : manager -> t
+val one : manager -> t
+val var : manager -> int -> t
+(** The function "variable [i] is true". *)
+
+val nvar : manager -> int -> t
+val bdd_not : manager -> t -> t
+val bdd_and : manager -> t -> t -> t
+val bdd_or : manager -> t -> t -> t
+val bdd_xor : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+
+val size : manager -> t -> int
+(** Nodes reachable from this root. *)
+
+val live_nodes : manager -> int
+(** Total nodes allocated in the manager. *)
+
+val any_sat : manager -> t -> (int * bool) list
+(** A satisfying partial assignment (variables not mentioned are
+    don't-care). Raises [Not_found] on the zero BDD. *)
+
+val sat_count : manager -> nvars:int -> t -> float
+(** Number of satisfying assignments over [nvars] variables. *)
+
+val eval : manager -> t -> (int -> bool) -> bool

@@ -1,0 +1,7 @@
+(** BDD substrate: the pre-SAT technology for FPGA routability checks
+    (Wood & Rutenbar, cited as [44] in the paper). {!Bdd} is a small ROBDD
+    package; {!Coloring_bdd} decides and counts graph colourings with it —
+    the baseline whose scalability cliff motivated SAT-based routing. *)
+
+module Bdd = Bdd
+module Coloring_bdd = Coloring_bdd

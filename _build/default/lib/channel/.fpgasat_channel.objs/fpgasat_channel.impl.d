@@ -1,0 +1,1 @@
+lib/channel/fpgasat_channel.ml: Channel_sat Segmented_channel

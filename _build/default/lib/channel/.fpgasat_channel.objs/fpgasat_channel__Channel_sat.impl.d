@@ -1,0 +1,1 @@
+lib/channel/channel_sat.ml: Array Format Fpgasat_encodings Fpgasat_sat List Segmented_channel

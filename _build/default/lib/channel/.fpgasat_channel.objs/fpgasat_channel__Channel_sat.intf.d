@@ -1,0 +1,1 @@
+lib/channel/channel_sat.mli: Fpgasat_encodings Fpgasat_sat Segmented_channel

@@ -1,0 +1,1 @@
+lib/channel/segmented_channel.ml: Array Format Fpgasat_fpga Fun Hashtbl List

@@ -1,0 +1,1 @@
+lib/channel/segmented_channel.mli: Format Fpgasat_fpga

@@ -1,0 +1,91 @@
+module Sat = Fpgasat_sat
+module E = Fpgasat_encodings
+
+type outcome =
+  | Routed of int array
+  | Unroutable
+  | Timeout
+
+let default_encoding () =
+  match E.Encoding.of_name "ITE-linear-2+muldirect" with
+  | Ok e -> e
+  | Error m -> invalid_arg m
+
+(* Builds the CNF plus the per-connection pattern table needed to decode. *)
+let build encoding channel connections =
+  let k = Segmented_channel.num_tracks channel in
+  if k < 1 && connections <> [] then
+    invalid_arg "Channel_sat: channel without tracks";
+  let layout = E.Encoding.layout encoding (max k 1) in
+  let nslots = layout.E.Layout.num_slots in
+  let cnf = Sat.Cnf.create () in
+  let conns = Array.of_list connections in
+  let n = Array.length conns in
+  Sat.Cnf.ensure_vars cnf (n * nslots);
+  let lits_of i pattern =
+    List.map (fun (s, pol) -> Sat.Lit.make ((i * nslots) + s) pol) pattern
+  in
+  let negated i pattern = List.map Sat.Lit.negate (lits_of i pattern) in
+  (* per-connection side clauses *)
+  for i = 0 to n - 1 do
+    List.iter (fun clause -> Sat.Cnf.add_clause cnf (lits_of i clause)) layout.E.Layout.side
+  done;
+  (* forbid infeasible tracks *)
+  Array.iteri
+    (fun i c ->
+      let feasible = Segmented_channel.feasible_tracks channel c in
+      for track = 0 to k - 1 do
+        if not (List.mem track feasible) then
+          Sat.Cnf.add_clause cnf (negated i layout.E.Layout.patterns.(track))
+      done)
+    conns;
+  (* per-track conflicts for pairs sharing a segment there *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for track = 0 to k - 1 do
+        if Segmented_channel.conflict_on_track channel conns.(i) conns.(j) ~track
+        then
+          Sat.Cnf.add_clause cnf
+            (negated i layout.E.Layout.patterns.(track)
+            @ negated j layout.E.Layout.patterns.(track))
+      done
+    done
+  done;
+  (cnf, layout, conns, nslots)
+
+let cnf_of ?encoding channel connections =
+  let encoding =
+    match encoding with Some e -> e | None -> default_encoding ()
+  in
+  let cnf, _, _, _ = build encoding channel connections in
+  cnf
+
+let route ?encoding ?config ?budget channel connections =
+  if connections = [] then Routed [||]
+  else begin
+    let encoding =
+      match encoding with Some e -> e | None -> default_encoding ()
+    in
+    let cnf, layout, conns, nslots = build encoding channel connections in
+    match Sat.Solver.solve ?config ?budget cnf with
+    | Sat.Solver.Unsat, _ -> Unroutable
+    | Sat.Solver.Unknown, _ -> Timeout
+    | Sat.Solver.Sat model, _ ->
+        let track_of i =
+          let slot_value s =
+            let var = (i * nslots) + s in
+            var < Array.length model && model.(var)
+          in
+          match E.Layout.selected_values layout slot_value with
+          | track :: _ -> track
+          | [] -> failwith "Channel_sat: model selects no track"
+        in
+        let assignment = Array.init (Array.length conns) track_of in
+        (match Segmented_channel.verify channel (Array.to_list conns) assignment with
+        | Ok () -> ()
+        | Error v ->
+            failwith
+              (Format.asprintf "Channel_sat: decoded routing invalid: %a"
+                 Segmented_channel.pp_violation v));
+        Routed assignment
+  end

@@ -1,0 +1,7 @@
+(** Segmented channel routing (the paper's ref. [17] domain): a second
+    routing problem whose translation to SAT reuses the encoding framework,
+    showing it is not specific to graph colouring. {!Segmented_channel} is
+    the architecture model, {!Channel_sat} the SAT flow. *)
+
+module Segmented_channel = Segmented_channel
+module Channel_sat = Channel_sat

@@ -1,0 +1,110 @@
+type t = { length : int; cuts : int list array }
+type connection = { conn_id : int; left : int; right : int }
+
+let make ~length ~cuts =
+  if length < 1 then invalid_arg "Segmented_channel.make: length < 1";
+  Array.iter
+    (fun track_cuts ->
+      let rec check prev = function
+        | [] -> ()
+        | c :: rest ->
+            if c <= prev || c >= length then
+              invalid_arg "Segmented_channel.make: bad cut position"
+            else check c rest
+      in
+      check 0 track_cuts)
+    cuts;
+  { length; cuts }
+
+let uniform ~length ~tracks ~segment_length =
+  if segment_length < 1 then invalid_arg "Segmented_channel.uniform";
+  let track_cuts =
+    List.filter (fun p -> p > 0 && p < length)
+      (List.init (length / segment_length) (fun i -> (i + 1) * segment_length))
+  in
+  make ~length ~cuts:(Array.make (max tracks 1) track_cuts |> Array.map (fun c -> c))
+
+let random ~rng ~length ~tracks ~max_cuts =
+  let one_track () =
+    if length <= 1 then []
+    else begin
+      let n = Fpgasat_fpga.Rng.int rng (max_cuts + 1) in
+      let cuts = ref [] in
+      for _ = 1 to n do
+        let p = 1 + Fpgasat_fpga.Rng.int rng (length - 1) in
+        if not (List.mem p !cuts) then cuts := p :: !cuts
+      done;
+      List.sort compare !cuts
+    end
+  in
+  make ~length ~cuts:(Array.init (max tracks 1) (fun _ -> one_track ()))
+
+let num_tracks t = Array.length t.cuts
+
+let segments t track =
+  let cuts = t.cuts.(track) in
+  let rec go first = function
+    | [] -> [ (first, t.length - 1) ]
+    | c :: rest -> (first, c - 1) :: go c rest
+  in
+  go 0 cuts
+
+let segment_covering t ~track ~left ~right =
+  let rec find i = function
+    | [] -> None
+    | (first, last) :: rest ->
+        if left >= first && right <= last then Some i else find (i + 1) rest
+  in
+  find 0 (segments t track)
+
+let feasible_tracks t (c : connection) =
+  List.filter
+    (fun track -> segment_covering t ~track ~left:c.left ~right:c.right <> None)
+    (List.init (num_tracks t) Fun.id)
+
+let conflict_on_track t c1 c2 ~track =
+  match
+    ( segment_covering t ~track ~left:c1.left ~right:c1.right,
+      segment_covering t ~track ~left:c2.left ~right:c2.right )
+  with
+  | Some s1, Some s2 -> s1 = s2
+  | _ -> false
+
+type violation =
+  | Infeasible_track of int
+  | Track_out_of_range of int
+  | Shared_segment of int * int
+
+exception Bad of violation
+
+let verify t connections assignment =
+  let connections = Array.of_list connections in
+  if Array.length connections <> Array.length assignment then
+    invalid_arg "Segmented_channel.verify: length mismatch";
+  try
+    let used = Hashtbl.create 16 in
+    Array.iteri
+      (fun i (c : connection) ->
+        let track = assignment.(i) in
+        if track < 0 || track >= num_tracks t then raise (Bad (Track_out_of_range i));
+        match segment_covering t ~track ~left:c.left ~right:c.right with
+        | None -> raise (Bad (Infeasible_track i))
+        | Some seg -> (
+            let key = (track, seg) in
+            match Hashtbl.find_opt used key with
+            | Some j -> raise (Bad (Shared_segment (j, i)))
+            | None -> Hashtbl.add used key i))
+      connections;
+    Ok ()
+  with Bad v -> Error v
+
+let connection conn_id a b =
+  if a < 0 || b < 0 then invalid_arg "Segmented_channel.connection";
+  { conn_id; left = min a b; right = max a b }
+
+let pp_violation fmt = function
+  | Infeasible_track i ->
+      Format.fprintf fmt "connection %d: span crosses a segment boundary" i
+  | Track_out_of_range i -> Format.fprintf fmt "connection %d: bad track" i
+  | Shared_segment (i, j) ->
+      Format.fprintf fmt "connections %d and %d share a segment" i j

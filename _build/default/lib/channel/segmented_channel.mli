@@ -1,0 +1,60 @@
+(** Segmented channel routing (the domain of the paper's ref. [17],
+    Hung et al., "Segmented Channel Routability via Satisfiability").
+
+    A one-dimensional routing channel with [length] columns and a set of
+    horizontal tracks. Each track is cut into {e segments} at fixed
+    positions (Actel-style antifuse FPGAs). A 2-pin connection spanning
+    columns [[left, right]] must be assigned a track on which a {e single}
+    segment covers its whole span (1-segment routing), and a segment is a
+    single conductor: two distinct connections must never share one.
+
+    Unlike detailed routing in island FPGAs this is {e not} plain graph
+    colouring — which connections conflict depends on the track — but it is
+    still a CSP with per-value conflicts, so the paper's encodings apply
+    unchanged through {!Channel_sat}. *)
+
+type t = private {
+  length : int;  (** Columns [0 .. length-1]. *)
+  cuts : int list array;  (** [cuts.(t)]: ascending cut positions within [(0, length)]; a cut at [p] separates column [p-1] from [p]. *)
+}
+
+type connection = { conn_id : int; left : int; right : int }
+
+val make : length:int -> cuts:int list array -> t
+(** Raises [Invalid_argument] on out-of-range or unsorted cuts, or
+    [length < 1]. *)
+
+val uniform : length:int -> tracks:int -> segment_length:int -> t
+(** Every track cut into segments of the given length (the last may be
+    shorter). *)
+
+val random : rng:Fpgasat_fpga.Rng.t -> length:int -> tracks:int -> max_cuts:int -> t
+(** Each track gets [0 .. max_cuts] distinct random cut positions. *)
+
+val num_tracks : t -> int
+val segments : t -> int -> (int * int) list
+(** [(first, last)] column ranges of a track's segments, left to right. *)
+
+val segment_covering : t -> track:int -> left:int -> right:int -> int option
+(** Index (within the track) of the unique segment containing the span, if
+    the span does not cross a cut. *)
+
+val feasible_tracks : t -> connection -> int list
+val conflict_on_track : t -> connection -> connection -> track:int -> bool
+(** Would the two connections use the same segment of this track? (Both
+    must be feasible there.) *)
+
+type violation =
+  | Infeasible_track of int  (** Connection whose span crosses a cut. *)
+  | Track_out_of_range of int
+  | Shared_segment of int * int  (** Two connections on one conductor. *)
+
+val verify : t -> connection list -> int array -> (unit, violation) result
+(** Checks a track assignment (indexed by position in the connection
+    list). *)
+
+val connection : int -> int -> int -> connection
+(** [connection id left right]; normalises [left <= right]; raises
+    [Invalid_argument] on negative columns. *)
+
+val pp_violation : Format.formatter -> violation -> unit

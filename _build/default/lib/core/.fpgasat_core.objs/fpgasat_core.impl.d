@@ -1,0 +1,1 @@
+lib/core/fpgasat_core.ml: Binary_search Flow Incremental_width Portfolio Report Strategy

@@ -1,0 +1,1 @@
+lib/core/binary_search.ml: Flow Fpgasat_fpga Fpgasat_graph List

@@ -1,0 +1,1 @@
+lib/core/binary_search.mli: Flow Fpgasat_fpga Fpgasat_sat Strategy

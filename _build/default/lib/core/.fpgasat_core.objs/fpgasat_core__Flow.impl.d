@@ -1,0 +1,1 @@
+lib/core/flow.ml: Format Fpgasat_encodings Fpgasat_fpga Fpgasat_graph Fpgasat_sat Strategy Sys

@@ -1,0 +1,1 @@
+lib/core/flow.mli: Fpgasat_fpga Fpgasat_graph Fpgasat_sat Strategy

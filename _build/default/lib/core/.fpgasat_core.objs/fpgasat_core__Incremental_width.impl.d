@@ -1,0 +1,1 @@
+lib/core/incremental_width.ml: Array Fpgasat_encodings Fpgasat_graph Fpgasat_sat List Strategy

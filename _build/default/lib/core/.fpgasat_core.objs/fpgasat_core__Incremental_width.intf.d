@@ -1,0 +1,1 @@
+lib/core/incremental_width.mli: Fpgasat_graph Fpgasat_sat Strategy

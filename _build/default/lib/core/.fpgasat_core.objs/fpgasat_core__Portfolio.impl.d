@@ -1,0 +1,1 @@
+lib/core/portfolio.ml: Atomic Domain Flow Fpgasat_sat List Strategy Unix

@@ -1,0 +1,1 @@
+lib/core/portfolio.mli: Flow Fpgasat_fpga Fpgasat_sat Strategy

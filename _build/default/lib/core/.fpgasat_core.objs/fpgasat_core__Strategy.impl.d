@@ -1,0 +1,1 @@
+lib/core/strategy.ml: Fpgasat_encodings Fpgasat_sat Fun Option Printf Result String

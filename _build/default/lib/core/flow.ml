@@ -1,0 +1,99 @@
+module Sat = Fpgasat_sat
+module G = Fpgasat_graph
+module E = Fpgasat_encodings
+module F = Fpgasat_fpga
+
+type timings = { to_graph : float; to_cnf : float; solving : float }
+
+let total t = t.to_graph +. t.to_cnf +. t.solving
+
+type outcome =
+  | Routable of F.Detailed_route.t
+  | Unroutable
+  | Timeout
+
+type run = {
+  outcome : outcome;
+  timings : timings;
+  width : int;
+  strategy : Strategy.t;
+  cnf_vars : int;
+  cnf_clauses : int;
+  solver_stats : Sat.Stats.t;
+  proof : Sat.Proof.t option;
+}
+
+exception Decode_mismatch of string
+
+let timed f =
+  let t0 = Sys.time () in
+  let result = f () in
+  (result, Sys.time () -. t0)
+
+let solve_csp strategy budget proof csp =
+  let encoded, to_cnf =
+    timed (fun () ->
+        E.Csp_encode.encode ?symmetry:strategy.Strategy.symmetry
+          strategy.Strategy.encoding csp)
+  in
+  let (result, stats), solving =
+    timed (fun () ->
+        Sat.Solver.solve ~config:strategy.Strategy.solver ~budget ?proof
+          encoded.E.Csp_encode.cnf)
+  in
+  let answer =
+    match result with
+    | Sat.Solver.Sat model ->
+        let coloring = E.Csp_encode.decode encoded model in
+        if not (E.Csp.solution_ok csp coloring) then
+          raise (Decode_mismatch "decoded colouring is not proper")
+        else `Colorable coloring
+    | Sat.Solver.Unsat -> `Uncolorable
+    | Sat.Solver.Unknown -> `Timeout
+  in
+  (answer, encoded, stats, to_cnf, solving)
+
+let color_graph ?(strategy = Strategy.best_single)
+    ?(budget = Sat.Solver.no_budget) graph ~k =
+  let csp, to_graph = timed (fun () -> E.Csp.make graph ~k) in
+  let answer, _encoded, _stats, to_cnf, solving =
+    solve_csp strategy budget None csp
+  in
+  (answer, { to_graph; to_cnf; solving })
+
+let check_width ?(strategy = Strategy.best_single)
+    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) route ~width =
+  if width < 1 then invalid_arg "Flow.check_width: width < 1";
+  let (graph, csp), to_graph =
+    timed (fun () ->
+        let graph = F.Conflict_graph.build route in
+        (graph, E.Csp.make graph ~k:width))
+  in
+  ignore graph;
+  let proof = if want_proof then Some (Sat.Proof.create ()) else None in
+  let answer, encoded, stats, to_cnf, solving =
+    solve_csp strategy budget proof csp
+  in
+  let outcome =
+    match answer with
+    | `Colorable coloring -> (
+        match F.Detailed_route.of_coloring route ~width coloring with
+        | Ok detailed -> Routable detailed
+        | Error violation ->
+            raise
+              (Decode_mismatch
+                 (Format.asprintf "detailed routing rejected: %a"
+                    F.Detailed_route.pp_violation violation)))
+    | `Uncolorable -> Unroutable
+    | `Timeout -> Timeout
+  in
+  {
+    outcome;
+    timings = { to_graph; to_cnf; solving };
+    width;
+    strategy;
+    cnf_vars = Sat.Cnf.num_vars encoded.E.Csp_encode.cnf;
+    cnf_clauses = Sat.Cnf.num_clauses encoded.E.Csp_encode.cnf;
+    solver_stats = stats;
+    proof;
+  }

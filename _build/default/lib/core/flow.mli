@@ -1,0 +1,59 @@
+(** The end-to-end tool flow of the paper (Sect. 1):
+
+    global routing → colouring conflict graph (DIMACS-compatible) → CNF
+    under a chosen encoding (+ optional symmetry clauses) → SAT solver →
+    either a verified detailed routing or a proof of unroutability.
+
+    Timings are reported in the paper's three buckets: translation to graph
+    colouring, translation to CNF, and SAT solving; "total CPU time" is
+    their sum (Table 2's metric). *)
+
+type timings = {
+  to_graph : float;  (** Seconds to build the conflict graph. *)
+  to_cnf : float;  (** Seconds to encode it as CNF. *)
+  solving : float;  (** Seconds inside the SAT solver. *)
+}
+
+val total : timings -> float
+
+type outcome =
+  | Routable of Fpgasat_fpga.Detailed_route.t
+      (** Decoded from the model and verified against the architecture. *)
+  | Unroutable
+      (** The CNF is unsatisfiable: no detailed routing with this width
+          exists for this global routing. *)
+  | Timeout  (** Budget exhausted: no answer. *)
+
+type run = {
+  outcome : outcome;
+  timings : timings;
+  width : int;
+  strategy : Strategy.t;
+  cnf_vars : int;
+  cnf_clauses : int;
+  solver_stats : Fpgasat_sat.Stats.t;
+  proof : Fpgasat_sat.Proof.t option;
+}
+
+exception Decode_mismatch of string
+(** A SAT model failed to decode into a proper colouring or a legal detailed
+    routing — would indicate an encoding bug; never expected. *)
+
+val check_width :
+  ?strategy:Strategy.t ->
+  ?budget:Fpgasat_sat.Solver.budget ->
+  ?want_proof:bool ->
+  Fpgasat_fpga.Global_route.t ->
+  width:int ->
+  run
+(** Decides detailed routability of a global routing with [width] tracks.
+    Default strategy: {!Strategy.best_single}. *)
+
+val color_graph :
+  ?strategy:Strategy.t ->
+  ?budget:Fpgasat_sat.Solver.budget ->
+  Fpgasat_graph.Graph.t ->
+  k:int ->
+  [ `Colorable of Fpgasat_graph.Coloring.t | `Uncolorable | `Timeout ] * timings
+(** The same engine on a bare colouring problem (used by benches operating
+    directly on conflict graphs, and by the binary search). *)

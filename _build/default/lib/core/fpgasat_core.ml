@@ -1,0 +1,14 @@
+(** End-to-end API of the reproduction.
+
+    {!Strategy} combines an encoding with a symmetry heuristic and a solver
+    preset; {!Flow} runs global routing → colouring → CNF → SAT → verified
+    detailed routing (or unroutability proof); {!Binary_search} finds the
+    minimal channel width with an optimality proof; {!Portfolio} runs
+    parallel strategy portfolios; {!Report} formats paper-style tables. *)
+
+module Strategy = Strategy
+module Flow = Flow
+module Binary_search = Binary_search
+module Incremental_width = Incremental_width
+module Portfolio = Portfolio
+module Report = Report

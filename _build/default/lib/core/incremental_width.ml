@@ -1,0 +1,70 @@
+module Sat = Fpgasat_sat
+module G = Fpgasat_graph
+module E = Fpgasat_encodings
+
+type search_result = {
+  w_min : int;
+  coloring : G.Coloring.t;
+  queries : int;
+  stats : Sat.Stats.t;
+}
+
+let minimal_colors ?(strategy = Strategy.best_single)
+    ?(budget = Sat.Solver.no_budget) graph =
+  let lower = max 1 (G.Clique.lower_bound graph) in
+  let upper = max lower (G.Greedy.upper_bound graph) in
+  let csp = E.Csp.make graph ~k:upper in
+  let encoded =
+    E.Csp_encode.encode ?symmetry:strategy.Strategy.symmetry
+      strategy.Strategy.encoding csp
+  in
+  let cnf = Sat.Cnf.copy encoded.E.Csp_encode.cnf in
+  (* one selector per colour: assuming it switches the colour off *)
+  let selectors = Array.init upper (fun _ -> Sat.Cnf.fresh_var cnf) in
+  for v = 0 to G.Graph.num_vertices graph - 1 do
+    for c = 0 to upper - 1 do
+      Sat.Cnf.add_clause cnf
+        (Sat.Lit.neg_of selectors.(c)
+        :: List.map Sat.Lit.negate (E.Csp_encode.pattern_lits encoded v c))
+    done
+  done;
+  let solver = Sat.Solver.create ~config:strategy.Strategy.solver cnf in
+  let queries = ref 0 in
+  let query w =
+    incr queries;
+    let assumptions =
+      List.init (upper - w) (fun i -> Sat.Lit.pos selectors.(w + i))
+    in
+    Sat.Solver.solve_with ~budget ~assumptions solver
+  in
+  (* walk downward; a model using fewer colours lets us skip widths *)
+  let rec walk w best =
+    if w < lower then
+      match best with
+      | Some coloring -> Ok (w + 1, coloring)
+      | None -> Error "internal error: no colouring recorded"
+    else
+      match query w with
+      | Sat.Solver.Q_unsat -> (
+          match best with
+          | Some coloring -> Ok (w + 1, coloring)
+          | None -> Error "DSATUR width came out uncolourable")
+      | Sat.Solver.Q_unknown -> Error "budget exhausted during width search"
+      | Sat.Solver.Q_sat model ->
+          let coloring = E.Csp_encode.decode encoded model in
+          if not (E.Csp.solution_ok csp coloring) then
+            Error "decoded colouring failed verification"
+          else
+            let used = G.Coloring.num_colors coloring in
+            walk (min (w - 1) (used - 1)) (Some coloring)
+  in
+  match walk upper None with
+  | Error _ as err -> err
+  | Ok (w_min, coloring) ->
+      Ok
+        {
+          w_min;
+          coloring;
+          queries = !queries;
+          stats = Sat.Solver.solver_stats solver;
+        }

@@ -1,0 +1,28 @@
+(** Minimal channel width by incremental SAT.
+
+    Instead of one fresh CNF per width (as {!Binary_search} does), the
+    colouring problem is encoded {e once} at the DSATUR upper bound with one
+    fresh {e selector} variable per colour and clauses
+    [not s_c \/ not pattern_v(c)]: assuming [s_c] switches colour [c] off for
+    every vertex. One persistent solver then answers a width-[w] query under
+    assumptions [{s_c | c >= w}], keeping its learnt clauses between
+    queries. Works with every encoding, because switching a colour off is a
+    clause over its indexing pattern, not a single literal.
+
+    This is an engineering extension beyond the paper (which re-translated
+    per configuration); the bench compares the two searches. *)
+
+type search_result = {
+  w_min : int;
+  coloring : Fpgasat_graph.Coloring.t;  (** A proper [w_min]-colouring. *)
+  queries : int;  (** SAT queries answered by the shared solver. *)
+  stats : Fpgasat_sat.Stats.t;  (** Cumulative solver statistics. *)
+}
+
+val minimal_colors :
+  ?strategy:Strategy.t ->
+  ?budget:Fpgasat_sat.Solver.budget ->
+  Fpgasat_graph.Graph.t ->
+  (search_result, string) result
+(** Minimal number of colours of a conflict graph (= minimal channel width
+    of the routing it came from). The budget applies per query. *)

@@ -1,0 +1,54 @@
+module Sat = Fpgasat_sat
+
+type member_result = {
+  strategy : Strategy.t;
+  run : Flow.run;
+  wall_seconds : float;
+}
+
+type t = { winner : member_result option; members : member_result list }
+
+let decisive (r : Flow.run) =
+  match r.Flow.outcome with
+  | Flow.Routable _ | Flow.Unroutable -> true
+  | Flow.Timeout -> false
+
+let pick_winner members =
+  List.filter (fun m -> decisive m.run) members
+  |> List.sort (fun a b ->
+         compare (Flow.total a.run.Flow.timings) (Flow.total b.run.Flow.timings))
+  |> function
+  | [] -> None
+  | best :: _ -> Some best
+
+let run_one ?budget strategy route ~width =
+  let t0 = Unix.gettimeofday () in
+  let run = Flow.check_width ~strategy ?budget route ~width in
+  { strategy; run; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let run_simulated ?budget strategies route ~width =
+  if strategies = [] then invalid_arg "Portfolio.run_simulated: empty";
+  let members = List.map (fun s -> run_one ?budget s route ~width) strategies in
+  { winner = pick_winner members; members }
+
+let run_parallel ?(budget = Sat.Solver.no_budget) strategies route ~width =
+  if strategies = [] then invalid_arg "Portfolio.run_parallel: empty";
+  let stop = Atomic.make false in
+  let budget = Sat.Solver.interruptible (fun () -> Atomic.get stop) budget in
+  let worker strategy =
+    let result = run_one ~budget strategy route ~width in
+    if decisive result.run then Atomic.set stop true;
+    result
+  in
+  let domains = List.map (fun s -> Domain.spawn (fun () -> worker s)) strategies in
+  let members = List.map Domain.join domains in
+  (* winner: the decisive member with the smallest wall time — in parallel
+     mode wall time is what first-answer-wins observes *)
+  let winner =
+    List.filter (fun m -> decisive m.run) members
+    |> List.sort (fun a b -> compare a.wall_seconds b.wall_seconds)
+    |> function
+    | [] -> None
+    | best :: _ -> Some best
+  in
+  { winner; members }

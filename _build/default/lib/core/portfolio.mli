@@ -1,0 +1,41 @@
+(** Portfolios of parallel strategies (paper, Sect. 6).
+
+    A portfolio runs several strategies on the same instance and takes the
+    first answer, cancelling the rest. Two modes:
+
+    - {!run_parallel} really runs one OCaml 5 domain per member with
+      first-answer-wins cancellation;
+    - {!run_simulated} runs members sequentially and accounts the portfolio
+      time as the minimum member time — the deterministic accounting used
+      for the paper-style speedup tables (a portfolio on enough cores costs
+      the time of its fastest member). *)
+
+type member_result = {
+  strategy : Strategy.t;
+  run : Flow.run;
+  wall_seconds : float;
+}
+
+type t = {
+  winner : member_result option;
+      (** Fastest decisive member ([None] if every member timed out). *)
+  members : member_result list;
+      (** All members. In parallel mode, cancelled members report
+          [Flow.Timeout]. *)
+}
+
+val run_simulated :
+  ?budget:Fpgasat_sat.Solver.budget ->
+  Strategy.t list ->
+  Fpgasat_fpga.Global_route.t ->
+  width:int ->
+  t
+(** Winner: minimal total CPU time among decisive members. *)
+
+val run_parallel :
+  ?budget:Fpgasat_sat.Solver.budget ->
+  Strategy.t list ->
+  Fpgasat_fpga.Global_route.t ->
+  width:int ->
+  t
+(** One domain per member. Raises [Invalid_argument] on an empty list. *)

@@ -1,0 +1,52 @@
+let with_thousands s =
+  (* insert commas into the integer part of a numeral string *)
+  let int_part, rest =
+    match String.index_opt s '.' with
+    | Some i -> (String.sub s 0 i, String.sub s i (String.length s - i))
+    | None -> (s, "")
+  in
+  let n = String.length int_part in
+  let buf = Buffer.create (n + 4) in
+  String.iteri
+    (fun i c ->
+      if i > 0 && (n - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    int_part;
+  Buffer.contents buf ^ rest
+
+let format_seconds t = with_thousands (Printf.sprintf "%.2f" t)
+
+let format_speedup x =
+  if x < 10. then Printf.sprintf "%.2fx" x
+  else with_thousands (Printf.sprintf "%.0f" x) ^ "x"
+
+let render_table ~header rows =
+  let ncols = List.length header in
+  let pad_row row =
+    let len = List.length row in
+    if len >= ncols then row else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < ncols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    rows;
+  let render_cell i cell =
+    let w = widths.(i) in
+    if i = 0 then Printf.sprintf "%-*s" w cell else Printf.sprintf "%*s" w cell
+  in
+  let render_row row = String.concat "  " (List.mapi render_cell row) in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n"
+    ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let section title =
+  let bar = String.make (max 8 (String.length title + 4)) '=' in
+  Printf.sprintf "\n%s\n= %s\n%s\n" bar title bar

@@ -1,0 +1,16 @@
+(** Formatting of paper-style result tables. *)
+
+val format_seconds : float -> string
+(** Two decimals with thousands separators, e.g. ["1,018.10"] — the style
+    of Table 2. *)
+
+val format_speedup : float -> string
+(** E.g. ["1,139x"]; one decimal below 10. *)
+
+val render_table : header:string list -> string list list -> string
+(** Monospace table with column-width alignment; the first column is
+    left-aligned, the rest right-aligned. Rows shorter than the header are
+    padded with empty cells. *)
+
+val section : string -> string
+(** A titled horizontal rule. *)

@@ -1,0 +1,1 @@
+lib/encodings/fpgasat_encodings.ml: Csp Csp_encode Encoding Encoding_stats Hierarchy Ite_tree Layout Registry Simple_encoding Symmetry

@@ -1,0 +1,1 @@
+lib/encodings/csp.ml: Format Fpgasat_graph

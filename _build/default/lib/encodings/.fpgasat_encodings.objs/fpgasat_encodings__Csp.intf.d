@@ -1,0 +1,1 @@
+lib/encodings/csp.mli: Format Fpgasat_graph

@@ -1,0 +1,1 @@
+lib/encodings/csp_encode.ml: Array Csp Encoding Fpgasat_graph Fpgasat_sat Layout List Symmetry

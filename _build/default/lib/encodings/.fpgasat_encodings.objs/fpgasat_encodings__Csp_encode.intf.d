@@ -1,0 +1,1 @@
+lib/encodings/csp_encode.mli: Csp Encoding Fpgasat_graph Fpgasat_sat Layout Symmetry

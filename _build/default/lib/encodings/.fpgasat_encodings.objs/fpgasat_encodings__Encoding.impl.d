@@ -1,0 +1,1 @@
+lib/encodings/encoding.ml: Filename Format Hierarchy List Option Printf Simple_encoding Stdlib String

@@ -1,0 +1,1 @@
+lib/encodings/encoding.mli: Format Layout Simple_encoding

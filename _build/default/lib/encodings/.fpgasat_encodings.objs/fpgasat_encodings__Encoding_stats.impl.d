@@ -1,0 +1,1 @@
+lib/encodings/encoding_stats.ml: Array Encoding Format Layout List

@@ -1,0 +1,1 @@
+lib/encodings/encoding_stats.mli: Encoding Format Layout

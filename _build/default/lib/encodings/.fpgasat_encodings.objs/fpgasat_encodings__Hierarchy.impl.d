@@ -1,0 +1,1 @@
+lib/encodings/hierarchy.ml: Array Layout List Simple_encoding

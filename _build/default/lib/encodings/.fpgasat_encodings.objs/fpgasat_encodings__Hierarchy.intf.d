@@ -1,0 +1,1 @@
+lib/encodings/hierarchy.mli: Layout Simple_encoding

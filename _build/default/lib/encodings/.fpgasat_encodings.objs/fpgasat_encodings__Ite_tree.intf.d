@@ -1,0 +1,1 @@
+lib/encodings/ite_tree.mli: Layout

@@ -1,0 +1,1 @@
+lib/encodings/layout.ml: Array Format Fun List Printf Result Seq

@@ -1,0 +1,1 @@
+lib/encodings/layout.mli: Format

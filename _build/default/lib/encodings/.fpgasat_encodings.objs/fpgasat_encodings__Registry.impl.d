@@ -1,0 +1,1 @@
+lib/encodings/registry.ml: Encoding List

@@ -1,0 +1,1 @@
+lib/encodings/registry.mli: Encoding

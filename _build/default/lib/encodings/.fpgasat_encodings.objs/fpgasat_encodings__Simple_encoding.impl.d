@@ -1,0 +1,1 @@
+lib/encodings/simple_encoding.ml: Array Fun Ite_tree Layout List String

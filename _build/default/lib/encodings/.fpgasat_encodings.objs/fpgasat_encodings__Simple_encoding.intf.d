@@ -1,0 +1,1 @@
+lib/encodings/simple_encoding.mli: Layout

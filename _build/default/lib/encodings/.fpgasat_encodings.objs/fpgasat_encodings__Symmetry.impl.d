@@ -1,0 +1,1 @@
+lib/encodings/symmetry.ml: Format Fpgasat_graph Fun List String

@@ -1,0 +1,1 @@
+lib/encodings/symmetry.mli: Format Fpgasat_graph

@@ -1,0 +1,14 @@
+module G = Fpgasat_graph
+
+type t = { graph : G.Graph.t; k : int }
+
+let make graph ~k =
+  if k < 1 then invalid_arg "Csp.make: k < 1";
+  { graph; k }
+
+let num_variables t = G.Graph.num_vertices t.graph
+let trivially_unsat t = G.Clique.lower_bound t.graph > t.k
+let solution_ok t coloring = G.Coloring.is_proper t.graph ~k:t.k coloring
+
+let pp fmt t =
+  Format.fprintf fmt "csp(%a, k=%d)" G.Graph.pp t.graph t.k

@@ -1,0 +1,23 @@
+(** CSP instances of the graph-colouring form (paper, Sect. 1).
+
+    All variables share one domain [0 .. k-1] (the colours, i.e. routing
+    tracks) and every constraint is a disequality between adjacent vertices
+    of the constraint graph — exactly the CSP class FPGA detailed routing
+    reduces to. *)
+
+type t = private {
+  graph : Fpgasat_graph.Graph.t;
+  k : int;  (** Domain size: number of colours / tracks per channel. *)
+}
+
+val make : Fpgasat_graph.Graph.t -> k:int -> t
+(** Raises [Invalid_argument] if [k < 1]. *)
+
+val num_variables : t -> int
+val trivially_unsat : t -> bool
+(** [true] when a greedy clique already exceeds [k] — no SAT call needed. *)
+
+val solution_ok : t -> Fpgasat_graph.Coloring.t -> bool
+(** Is the colouring a proper [k]-colouring, i.e. a genuine CSP solution? *)
+
+val pp : Format.formatter -> t -> unit

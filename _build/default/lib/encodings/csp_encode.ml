@@ -1,0 +1,68 @@
+module Sat = Fpgasat_sat
+module G = Fpgasat_graph
+
+type t = {
+  encoding : Encoding.t;
+  csp : Csp.t;
+  layout : Layout.t;
+  cnf : Sat.Cnf.t;
+  symmetry : Symmetry.heuristic option;
+}
+
+let boolean_var t v s = (v * t.layout.Layout.num_slots) + s
+
+let lits_of_pattern t v pattern =
+  List.map
+    (fun (s, pol) -> Sat.Lit.make (boolean_var t v s) pol)
+    pattern
+
+let pattern_lits t v value = lits_of_pattern t v t.layout.Layout.patterns.(value)
+
+let negated t v pattern =
+  List.map Sat.Lit.negate (lits_of_pattern t v pattern)
+
+let encode ?symmetry encoding csp =
+  let layout = Encoding.layout encoding csp.Csp.k in
+  let n = Csp.num_variables csp in
+  let cnf = Sat.Cnf.create () in
+  Sat.Cnf.ensure_vars cnf (n * layout.Layout.num_slots);
+  let t = { encoding; csp; layout; cnf; symmetry } in
+  (* per-variable side clauses *)
+  for v = 0 to n - 1 do
+    List.iter
+      (fun clause -> Sat.Cnf.add_clause cnf (lits_of_pattern t v clause))
+      layout.Layout.side
+  done;
+  (* conflict clauses: one per edge per common domain value *)
+  G.Graph.iter_edges
+    (fun u v ->
+      for value = 0 to csp.Csp.k - 1 do
+        let p = layout.Layout.patterns.(value) in
+        Sat.Cnf.add_clause cnf (negated t u p @ negated t v p)
+      done)
+    t.csp.Csp.graph;
+  (* symmetry-breaking clauses *)
+  (match symmetry with
+  | None -> ()
+  | Some h ->
+      List.iter
+        (fun (v, colour) ->
+          Sat.Cnf.add_clause cnf (negated t v layout.Layout.patterns.(colour)))
+        (Symmetry.forbidden h csp.Csp.graph ~k:csp.Csp.k));
+  t
+
+exception No_selected_value of int
+
+let selected_values_of t model v =
+  let slot_value s =
+    let var = boolean_var t v s in
+    var < Array.length model && model.(var)
+  in
+  Layout.selected_values t.layout slot_value
+
+let decode t model =
+  let n = Csp.num_variables t.csp in
+  Array.init n (fun v ->
+      match selected_values_of t model v with
+      | value :: _ -> value
+      | [] -> raise (No_selected_value v))

@@ -1,0 +1,202 @@
+let partition k m =
+  if k < 1 || m < 1 then invalid_arg "Hierarchy.partition";
+  let m = min m k in
+  let base = k / m and rem = k mod m in
+  List.init m (fun j -> if j < rem then base + 1 else base)
+
+let is_tree_kind = function
+  | Simple_encoding.Ite_linear | Simple_encoding.Ite_log -> true
+  | Simple_encoding.Direct | Simple_encoding.Muldirect | Simple_encoding.Log ->
+      false
+
+let negate_pattern p = List.map (fun (s, pol) -> (s, not pol)) p
+
+let compose_shared ~top ~bottom k sizes =
+  let m = List.length sizes in
+  let top_layout = Simple_encoding.layout top m in
+  let s_max = match sizes with s :: _ -> s | [] -> assert false in
+  let bot_max = Simple_encoding.layout bottom s_max in
+  let shift = top_layout.Layout.num_slots in
+  let shift_lits = List.map (fun (s, pol) -> (s + shift, pol)) in
+  (* patterns: concatenate the subdomain's top pattern with the bottom
+     pattern of the offset; smaller subdomains use a smaller tree (for tree
+     bottoms) or the shared max layout plus conditional exclusions. *)
+  let patterns = Array.make k [] in
+  let conditional_exclusions = ref [] in
+  let value = ref 0 in
+  List.iteri
+    (fun j s_j ->
+      let top_pattern = top_layout.Layout.patterns.(j) in
+      let bot_j =
+        if s_j = s_max then bot_max
+        else if is_tree_kind bottom then Simple_encoding.layout bottom s_j
+        else begin
+          (* forbid the offsets this subdomain does not have *)
+          for off = s_j to s_max - 1 do
+            conditional_exclusions :=
+              (negate_pattern top_pattern
+              @ shift_lits (negate_pattern bot_max.Layout.patterns.(off)))
+              :: !conditional_exclusions
+          done;
+          bot_max
+        end
+      in
+      for off = 0 to s_j - 1 do
+        patterns.(!value) <-
+          top_pattern @ shift_lits bot_j.Layout.patterns.(off);
+        incr value
+      done)
+    sizes;
+  assert (!value = k);
+  {
+    Layout.num_values = k;
+    num_slots = shift + bot_max.Layout.num_slots;
+    patterns;
+    side =
+      top_layout.Layout.side
+      @ List.map shift_lits bot_max.Layout.side
+      @ List.rev !conditional_exclusions;
+    exclusive = top_layout.Layout.exclusive && bot_max.Layout.exclusive;
+  }
+
+(* Ablation variant: every subdomain gets a private bottom slot block sized
+   exactly to it; bottom side clauses become conditional on the subdomain's
+   top pattern (an unconditional at-least-one over a private block would
+   wrongly constrain unselected subdomains). *)
+let compose_unshared ~top ~bottom k sizes =
+  let m = List.length sizes in
+  let top_layout = Simple_encoding.layout top m in
+  let patterns = Array.make k [] in
+  let side = ref (List.rev top_layout.Layout.side) in
+  let next_slot = ref top_layout.Layout.num_slots in
+  let exclusive = ref top_layout.Layout.exclusive in
+  let value = ref 0 in
+  List.iteri
+    (fun j s_j ->
+      let top_pattern = top_layout.Layout.patterns.(j) in
+      let bot = Simple_encoding.layout bottom s_j in
+      let base = !next_slot in
+      next_slot := base + bot.Layout.num_slots;
+      let shift_lits = List.map (fun (s, pol) -> (s + base, pol)) in
+      List.iter
+        (fun clause ->
+          side := (negate_pattern top_pattern @ shift_lits clause) :: !side)
+        bot.Layout.side;
+      if not bot.Layout.exclusive then exclusive := false;
+      for off = 0 to s_j - 1 do
+        patterns.(!value) <- top_pattern @ shift_lits bot.Layout.patterns.(off);
+        incr value
+      done)
+    sizes;
+  assert (!value = k);
+  {
+    Layout.num_values = k;
+    num_slots = !next_slot;
+    patterns;
+    side = List.rev !side;
+    exclusive = !exclusive;
+  }
+
+(* Fully general multi-level composition. Unlike [compose_shared], smaller
+   subdomains always use the full-size bottom layout plus conditional
+   exclusions — uniform across clause-based and tree encodings, at the cost
+   of a few extra clauses compared to the "smaller trees" of the two-level
+   paper construction. *)
+let rec compose_levels ~levels ~bottom k =
+  if k < 1 then invalid_arg "Hierarchy.compose_levels: empty domain";
+  match levels with
+  | [] -> Simple_encoding.layout bottom k
+  | (kind, vars) :: rest ->
+      if vars < 1 then invalid_arg "Hierarchy.compose_levels: vars < 1";
+      let capacity = Simple_encoding.values_reachable kind vars in
+      let sizes = partition k capacity in
+      let m = List.length sizes in
+      let top_layout = Simple_encoding.layout kind m in
+      let s_max = match sizes with s :: _ -> s | [] -> assert false in
+      let bot = compose_levels ~levels:rest ~bottom s_max in
+      let shift = top_layout.Layout.num_slots in
+      let shift_lits = List.map (fun (s, pol) -> (s + shift, pol)) in
+      let patterns = Array.make k [] in
+      let exclusions = ref [] in
+      let value = ref 0 in
+      List.iteri
+        (fun j s_j ->
+          let top_pattern = top_layout.Layout.patterns.(j) in
+          for off = s_j to s_max - 1 do
+            exclusions :=
+              (negate_pattern top_pattern
+              @ shift_lits (negate_pattern bot.Layout.patterns.(off)))
+              :: !exclusions
+          done;
+          for off = 0 to s_j - 1 do
+            patterns.(!value) <- top_pattern @ shift_lits bot.Layout.patterns.(off);
+            incr value
+          done)
+        sizes;
+      assert (!value = k);
+      {
+        Layout.num_values = k;
+        num_slots = shift + bot.Layout.num_slots;
+        patterns;
+        side =
+          top_layout.Layout.side
+          @ List.map shift_lits bot.Layout.side
+          @ List.rev !exclusions;
+        exclusive = top_layout.Layout.exclusive && bot.Layout.exclusive;
+      }
+
+let compose_mixed ~top ~top_vars ~bottoms k =
+  if top_vars < 1 then invalid_arg "Hierarchy.compose_mixed: top_vars < 1";
+  if k < 1 then invalid_arg "Hierarchy.compose_mixed: empty domain";
+  if bottoms = [] then invalid_arg "Hierarchy.compose_mixed: no bottom kinds";
+  let capacity = Simple_encoding.values_reachable top top_vars in
+  let sizes = partition k capacity in
+  let m = List.length sizes in
+  let top_layout = Simple_encoding.layout top m in
+  let kinds = Array.of_list bottoms in
+  let kind_of j = kinds.(j mod Array.length kinds) in
+  (* per-subdomain bottom layouts over one shared slot pool *)
+  let bottom_layouts =
+    List.mapi (fun j s_j -> Simple_encoding.layout (kind_of j) s_j) sizes
+  in
+  let pool =
+    List.fold_left (fun acc b -> max acc b.Layout.num_slots) 0 bottom_layouts
+  in
+  let shift = top_layout.Layout.num_slots in
+  let shift_lits = List.map (fun (s, pol) -> (s + shift, pol)) in
+  let patterns = Array.make k [] in
+  let side = ref (List.rev top_layout.Layout.side) in
+  let value = ref 0 in
+  List.iteri
+    (fun j bot ->
+      let top_pattern = top_layout.Layout.patterns.(j) in
+      (* bottom side clauses hold only when this subdomain is selected *)
+      List.iter
+        (fun clause ->
+          side := (negate_pattern top_pattern @ shift_lits clause) :: !side)
+        bot.Layout.side;
+      for off = 0 to bot.Layout.num_values - 1 do
+        patterns.(!value) <- top_pattern @ shift_lits bot.Layout.patterns.(off);
+        incr value
+      done)
+    bottom_layouts;
+  assert (!value = k);
+  let exclusive =
+    top_layout.Layout.exclusive
+    && List.for_all (fun b -> b.Layout.exclusive) bottom_layouts
+  in
+  {
+    Layout.num_values = k;
+    num_slots = shift + pool;
+    patterns;
+    side = List.rev !side;
+    exclusive;
+  }
+
+let compose ?(shared = true) ~top ~top_vars ~bottom k =
+  if top_vars < 1 then invalid_arg "Hierarchy.compose: top_vars < 1";
+  if k < 1 then invalid_arg "Hierarchy.compose: empty domain";
+  let capacity = Simple_encoding.values_reachable top top_vars in
+  let sizes = partition k capacity in
+  if shared then compose_shared ~top ~bottom k sizes
+  else compose_unshared ~top ~bottom k sizes

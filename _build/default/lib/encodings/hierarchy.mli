@@ -1,0 +1,66 @@
+(** Hierarchical composition of simple encodings (paper, Sect. 4).
+
+    A two-level hierarchical encoding first partitions the domain into
+    subdomains using a top-level simple encoding with a fixed Boolean-variable
+    budget, then selects within each subdomain with a bottom-level simple
+    encoding whose variables are {e shared} by all subdomains of the level.
+    The partition is balanced (sizes differ by at most one, larger subdomains
+    first), matching the worked example of Fig. 1(d): 13 values under
+    ITE-log-2 split into subdomains of sizes 4, 3, 3, 3.
+
+    Smaller-than-maximum subdomains are handled per the paper: ITE-tree
+    bottoms use a smaller tree over the same slots, clause-based bottoms get
+    conditional excluded-illegal-value clauses guarded by the subdomain's
+    top-level pattern. *)
+
+val partition : int -> int -> int list
+(** [partition k m] splits [k] values into [min m k] balanced subdomain
+    sizes, larger first. Raises [Invalid_argument] unless [k >= 1] and
+    [m >= 1]. *)
+
+val compose_levels :
+  levels:(Simple_encoding.kind * int) list ->
+  bottom:Simple_encoding.kind ->
+  int ->
+  Layout.t
+(** [compose_levels ~levels ~bottom k] is the fully general hierarchy of
+    Sect. 4: each [(kind, vars)] level partitions the subdomains of the
+    previous level, the [bottom] encoding selects values inside the finest
+    subdomains, and every level shares one slot set across its subdomains.
+    Subdomains smaller than their level's maximum are handled uniformly by
+    conditional excluded-illegal-value clauses (sound for tree encodings
+    too, since a tree always selects exactly one offset). The paper's
+    two-level encodings are [levels = [(top, n)]]; Kwon & Klieber's
+    direct-i+direct chains are [levels] of [Direct] entries. *)
+
+val compose_mixed :
+  top:Simple_encoding.kind ->
+  top_vars:int ->
+  bottoms:Simple_encoding.kind list ->
+  int ->
+  Layout.t
+(** Sect. 4 also allows {e different} simple encodings for different
+    subdomains of one level ("it is not required that all the subdomains at
+    a particular level ... be further divided ... by using the same simple
+    encoding"). [compose_mixed] assigns [bottoms] to the subdomains in
+    order, cycling if there are fewer kinds than subdomains; every
+    subdomain still draws from one shared bottom slot pool (sized to the
+    largest demand). Not part of the paper's evaluated set; exercised by
+    tests and available for exploration. *)
+
+val compose :
+  ?shared:bool ->
+  top:Simple_encoding.kind ->
+  top_vars:int ->
+  bottom:Simple_encoding.kind ->
+  int ->
+  Layout.t
+(** [compose ~top ~top_vars ~bottom k] is the layout of the hierarchical
+    encoding over a domain of [k] values. Top slots come first, the shared
+    bottom slots after them.
+
+    [shared] (default [true]) controls whether all subdomains reuse one
+    bottom slot set, as the paper prescribes. With [~shared:false] every
+    subdomain gets its own block of bottom slots sized to that subdomain —
+    more variables, no conditional exclusions. This exists as an ablation
+    of the paper's sharing decision (see DESIGN.md). *)

@@ -1,0 +1,62 @@
+type t = Leaf of int | Node of int * t * t
+
+let linear k =
+  if k < 1 then invalid_arg "Ite_tree.linear";
+  (* slot j guards value j; the final else-leaf is value k-1 *)
+  let rec build j = if j = k - 1 then Leaf j else Node (j, Leaf j, build (j + 1)) in
+  build 0
+
+let balanced k =
+  if k < 1 then invalid_arg "Ite_tree.balanced";
+  (* ceil/floor split with one slot per depth keeps leaf depths within
+     {⌈log₂ k⌉ − 1, ⌈log₂ k⌉} and reuses each slot across a whole level. *)
+  let rec build first count depth =
+    if count = 1 then Leaf first
+    else
+      let left = (count + 1) / 2 in
+      Node (depth, build first left (depth + 1), build (first + left) (count - left) (depth + 1))
+  in
+  build 0 k 0
+
+let rec num_leaves = function
+  | Leaf _ -> 1
+  | Node (_, t, e) -> num_leaves t + num_leaves e
+
+let num_slots tree =
+  let rec max_slot = function
+    | Leaf _ -> -1
+    | Node (s, t, e) -> max s (max (max_slot t) (max_slot e))
+  in
+  max_slot tree + 1
+
+let paths tree =
+  let rec go path = function
+    | Leaf v -> [ (v, List.rev path) ]
+    | Node (s, t, e) -> go ((s, true) :: path) t @ go ((s, false) :: path) e
+  in
+  go [] tree
+
+let well_formed tree =
+  let rec go seen = function
+    | Leaf _ -> true
+    | Node (s, t, e) ->
+        (not (List.mem s seen)) && go (s :: seen) t && go (s :: seen) e
+  in
+  go [] tree
+
+let leaves_in_order tree = List.map fst (paths tree)
+
+let render ?(value_name = fun v -> Printf.sprintf "v%d" v) tree =
+  let buf = Buffer.create 256 in
+  let rec go prefix connector = function
+    | Leaf v -> Buffer.add_string buf (Printf.sprintf "%s%s%s\n" prefix connector (value_name v))
+    | Node (s, t, e) ->
+        Buffer.add_string buf (Printf.sprintf "%s%sITE(i%d)\n" prefix connector s);
+        let child_prefix =
+          prefix ^ if connector = "" then "" else if connector = "`-0- " then "     " else "|    "
+        in
+        go child_prefix "|-1- " t;
+        go child_prefix "`-0- " e
+  in
+  go "" "" tree;
+  Buffer.contents buf

@@ -1,0 +1,37 @@
+(** ITE trees (paper, Sect. 3).
+
+    An ITE tree selects one domain value per assignment to its indexing
+    Boolean variables: [Node (s, t, e)] selects in [t] when slot [s] is true
+    and in [e] otherwise. Every slot appears at most once on any root-to-leaf
+    path, so the tree is a multi-input multiplexer needing no at-least-one /
+    at-most-one clauses — the structural property the paper's new encodings
+    exploit. Slots are local indices, mapped to concrete Boolean variables at
+    instantiation time. *)
+
+type t = Leaf of int | Node of int * t * t
+
+val linear : int -> t
+(** [linear k] is the chain of Fig. 1(a): slot [j] selects value [j],
+    value [k-1] is the all-false leaf. Uses [k-1] slots. Requires [k >= 1]. *)
+
+val balanced : int -> t
+(** [balanced k] is the tree of Fig. 1(b): one slot per level (the ITE-log
+    variant of the log encoding), leaf depths are ⌈log₂ k⌉ or ⌈log₂ k⌉ − 1,
+    value order is left to right with the true branch first. *)
+
+val num_slots : t -> int
+(** [1 + max slot], [0] for a bare leaf. *)
+
+val num_leaves : t -> int
+
+val paths : t -> (int * Layout.slot_lit list) list
+(** [(value, pattern)] for every leaf, left to right; the pattern is the
+    root-to-leaf path. *)
+
+val well_formed : t -> bool
+(** No slot repeats on any root-to-leaf path. *)
+
+val leaves_in_order : t -> int list
+
+val render : ?value_name:(int -> string) -> t -> string
+(** Multi-line ASCII rendering used by the Figure 1 bench section. *)

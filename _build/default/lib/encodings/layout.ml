@@ -1,0 +1,54 @@
+type slot_lit = int * bool
+
+type t = {
+  num_values : int;
+  num_slots : int;
+  patterns : slot_lit list array;
+  side : slot_lit list list;
+  exclusive : bool;
+}
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length t.patterns = t.num_values then Ok ()
+    else Error "pattern count differs from num_values"
+  in
+  let check_pattern v p =
+    let slots = List.map fst p in
+    if List.exists (fun s -> s < 0 || s >= t.num_slots) slots then
+      Error (Printf.sprintf "value %d: slot out of range" v)
+    else if List.length (List.sort_uniq compare slots) <> List.length slots then
+      Error (Printf.sprintf "value %d: repeated slot in pattern" v)
+    else Ok ()
+  in
+  let* () =
+    Array.to_seqi t.patterns
+    |> Seq.fold_left
+         (fun acc (v, p) -> Result.bind acc (fun () -> check_pattern v p))
+         (Ok ())
+  in
+  let sorted = Array.map (fun p -> List.sort compare p) t.patterns in
+  let distinct =
+    Array.length sorted
+    = List.length (List.sort_uniq compare (Array.to_list sorted))
+  in
+  if distinct then Ok () else Error "two values share a pattern"
+
+let pattern_sat t v slot_value =
+  List.for_all (fun (s, pol) -> slot_value s = pol) t.patterns.(v)
+
+let selected_values t slot_value =
+  List.filter
+    (fun v -> pattern_sat t v slot_value)
+    (List.init t.num_values Fun.id)
+
+let pp_pattern fmt p =
+  match p with
+  | [] -> Format.pp_print_string fmt "(true)"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " & ")
+        (fun fmt (s, pol) ->
+          Format.fprintf fmt "%si%d" (if pol then "" else "-") s)
+        fmt p

@@ -1,0 +1,41 @@
+(** Encoding layouts.
+
+    A layout is the shape of a SAT encoding of one CSP variable before any
+    concrete Boolean variables are allocated: for each domain value an
+    {e indexing Boolean pattern} (a conjunction over local variable
+    {e slots}), plus side clauses (at-least-one, at-most-one,
+    excluded-illegal-values, and the conditional exclusions of hierarchical
+    encodings). Separating the shape from the allocation is what lets
+    hierarchical encodings share one slot set across all subdomains of a
+    level (paper, Sect. 4) and lets every CSP variable of the same domain
+    size reuse the same layout. *)
+
+type slot_lit = int * bool
+(** A literal over a local slot: slot index and polarity. *)
+
+type t = {
+  num_values : int;
+  num_slots : int;
+  patterns : slot_lit list array;
+      (** [patterns.(v)] is the indexing pattern selecting domain value [v]. *)
+  side : slot_lit list list;
+      (** Clauses enforcing that the patterns behave (empty for ITE-tree
+          encodings, whose structure makes them exclusive and complete). *)
+  exclusive : bool;
+      (** At most one pattern can hold in any assignment. *)
+}
+
+val validate : t -> (unit, string) result
+(** Structural sanity: pattern count matches [num_values], slots in range,
+    no slot repeated within a pattern, patterns pairwise distinct. *)
+
+val pattern_sat : t -> int -> (int -> bool) -> bool
+(** [pattern_sat layout v slot_value] — is value [v]'s pattern satisfied
+    under the given slot assignment? *)
+
+val selected_values : t -> (int -> bool) -> int list
+(** All values whose pattern holds under an assignment (for the multivalued
+    encodings this can be several; for exclusive ones at most one). *)
+
+val pp_pattern : Format.formatter -> slot_lit list -> unit
+(** Prints e.g. "i0 & -i1 & i2" (empty pattern prints "(true)"). *)

@@ -1,0 +1,53 @@
+let e name =
+  match Encoding.of_name name with
+  | Ok enc -> enc
+  | Error msg -> invalid_arg ("Registry: " ^ msg)
+
+let previously_used = [ e "log"; e "muldirect" ]
+let direct = e "direct"
+
+let new_encodings =
+  [
+    e "ITE-linear";
+    e "ITE-log";
+    e "ITE-log-1+ITE-linear";
+    e "ITE-log-2+ITE-linear";
+    e "ITE-log-2+direct";
+    e "ITE-log-2+muldirect";
+    e "ITE-linear-2+direct";
+    e "ITE-linear-2+muldirect";
+    e "direct-3+direct";
+    e "direct-3+muldirect";
+    e "muldirect-3+direct";
+    e "muldirect-3+muldirect";
+  ]
+
+let all = previously_used @ [ direct ] @ new_encodings
+
+let multi_level_extensions =
+  [
+    e "direct-2+direct-2+direct";
+    e "muldirect-2+muldirect-2+muldirect";
+    e "ITE-log-1+ITE-log-1+ITE-linear";
+    e "ITE-linear-1+ITE-linear-1+muldirect";
+  ]
+
+let table2 =
+  [
+    e "muldirect";
+    e "ITE-linear";
+    e "ITE-log";
+    e "ITE-linear-2+direct";
+    e "ITE-linear-2+muldirect";
+    e "muldirect-3+muldirect";
+    e "direct-3+muldirect";
+  ]
+
+let find name =
+  match Encoding.of_name name with
+  | Error _ as err -> err
+  | Ok enc ->
+      if List.exists (fun known -> Encoding.compare known enc = 0) all then Ok enc
+      else
+        (* accept anything parseable — users may explore beyond the paper *)
+        Ok enc

@@ -1,0 +1,28 @@
+(** The encoding sets the paper evaluates.
+
+    All names are resolvable with {!Encoding.of_name}; these lists drive the
+    benchmark harness and the CLI. *)
+
+val previously_used : Encoding.t list
+(** The two encodings earlier SAT-based FPGA routers used: log and
+    muldirect. *)
+
+val direct : Encoding.t
+(** Plain direct — mentioned in Sect. 6 as worse than muldirect. *)
+
+val new_encodings : Encoding.t list
+(** The 12 new encodings, in the paper's order (Sect. 6). *)
+
+val all : Encoding.t list
+(** Previously used + direct + the 12 new ones (15 total). *)
+
+val multi_level_extensions : Encoding.t list
+(** Beyond the paper's evaluation: three-level hierarchies, exercising the
+    fully general composition of Sect. 4 (Kwon & Klieber's
+    direct-i+direct family and ITE variants). *)
+
+val table2 : Encoding.t list
+(** The seven encodings whose columns appear in Table 2. *)
+
+val find : string -> (Encoding.t, string) result
+(** {!Encoding.of_name} plus a check that the result is one of {!all}. *)

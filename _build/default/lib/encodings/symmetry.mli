@@ -1,0 +1,29 @@
+(** Symmetry-breaking heuristics (paper, Sect. 5).
+
+    For a [k]-colouring problem one may pick any [k-1] vertices and constrain
+    the [i]-th of them (0-based) to colours [<= i] — any proper colouring can
+    be permuted into this form, so satisfiability is preserved while the
+    colour-permutation symmetry group is cut down.
+
+    - {e b1} (Van Gelder): the sequence starts with the maximum-degree
+      vertex, followed by up to [k-2] of its neighbours in descending degree
+      order, ties broken by the sum of the neighbours' degrees.
+    - {e s1} (this paper): the [k-1] highest-degree vertices overall, in
+      descending degree order with the same tie-breaking. *)
+
+type heuristic = B1 | S1
+
+val all : heuristic list
+val name : heuristic -> string
+val of_name : string -> heuristic option
+
+val sequence : heuristic -> Fpgasat_graph.Graph.t -> k:int -> int list
+(** The restricted vertex sequence (length [<= k-1], distinct vertices). *)
+
+val forbidden : heuristic -> Fpgasat_graph.Graph.t -> k:int -> (int * int) list
+(** [(vertex, colour)] pairs to forbid: the vertex at position [i] of the
+    sequence loses colours [i+1 .. k-1]. *)
+
+val pp : Format.formatter -> heuristic -> unit
+val pp_option : Format.formatter -> heuristic option -> unit
+(** Prints ["-"] for [None], matching Table 2's column headers. *)

@@ -1,0 +1,1 @@
+lib/fpga/fpgasat_fpga.ml: Arch Benchmarks Conflict_graph Congestion Detailed_route Global_route Global_router Netlist Render Rng Serial

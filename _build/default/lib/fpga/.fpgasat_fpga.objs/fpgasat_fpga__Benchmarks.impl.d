@@ -1,0 +1,1 @@
+lib/fpga/benchmarks.ml: Arch Conflict_graph Congestion Format Fpgasat_graph Global_route Global_router List Netlist Rng String

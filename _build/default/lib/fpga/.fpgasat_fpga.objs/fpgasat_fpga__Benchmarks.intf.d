@@ -1,0 +1,1 @@
+lib/fpga/benchmarks.mli: Arch Format Fpgasat_graph Global_route Global_router Netlist

@@ -1,0 +1,1 @@
+lib/fpga/conflict_graph.ml: Arch Array Fpgasat_encodings Fpgasat_graph Global_route Hashtbl List Netlist Option

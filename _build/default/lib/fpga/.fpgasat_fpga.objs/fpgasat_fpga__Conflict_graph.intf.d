@@ -1,0 +1,1 @@
+lib/fpga/conflict_graph.mli: Fpgasat_encodings Fpgasat_graph Global_route

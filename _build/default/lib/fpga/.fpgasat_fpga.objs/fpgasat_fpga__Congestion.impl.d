@@ -1,0 +1,1 @@
+lib/fpga/congestion.ml: Arch Array Format Global_route Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/fpga/congestion.mli: Arch Format Global_route

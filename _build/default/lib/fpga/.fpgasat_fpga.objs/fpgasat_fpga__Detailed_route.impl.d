@@ -1,0 +1,1 @@
+lib/fpga/detailed_route.ml: Arch Array Format Global_route Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/fpga/detailed_route.mli: Arch Format Fpgasat_graph Global_route

@@ -1,0 +1,1 @@
+lib/fpga/global_route.ml: Arch Array Format List Netlist Printf

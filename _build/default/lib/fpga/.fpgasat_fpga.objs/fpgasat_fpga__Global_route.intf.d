@@ -1,0 +1,1 @@
+lib/fpga/global_route.mli: Arch Format Netlist

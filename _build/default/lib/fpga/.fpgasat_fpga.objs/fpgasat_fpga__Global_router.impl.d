@@ -1,0 +1,1 @@
+lib/fpga/global_router.ml: Arch Array Global_route Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/fpga/global_router.mli: Arch Global_route Netlist

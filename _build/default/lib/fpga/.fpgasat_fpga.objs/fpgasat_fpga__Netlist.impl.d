@@ -1,0 +1,1 @@
+lib/fpga/netlist.ml: Arch Array Format List Rng

@@ -1,0 +1,1 @@
+lib/fpga/netlist.mli: Arch Format Rng

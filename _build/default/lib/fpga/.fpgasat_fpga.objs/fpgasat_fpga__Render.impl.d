@@ -1,0 +1,1 @@
+lib/fpga/render.ml: Arch Array Buffer Char Congestion Global_route List Netlist Printf

@@ -1,0 +1,1 @@
+lib/fpga/render.mli: Global_route

@@ -1,0 +1,1 @@
+lib/fpga/rng.ml: Array Int64

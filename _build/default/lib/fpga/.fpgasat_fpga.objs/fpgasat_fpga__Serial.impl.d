@@ -1,0 +1,1 @@
+lib/fpga/serial.ml: Arch Array Buffer Global_route List Netlist Printf Scanf String

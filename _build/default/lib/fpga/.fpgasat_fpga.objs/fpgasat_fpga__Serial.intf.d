@@ -1,0 +1,1 @@
+lib/fpga/serial.mli: Arch Global_route Netlist

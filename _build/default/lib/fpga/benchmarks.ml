@@ -1,0 +1,69 @@
+type spec = {
+  name : string;
+  grid : int;
+  nets : int;
+  max_fanout : int;
+  locality : int;
+  seed : int;
+  router : Global_router.params;
+}
+
+type instance = {
+  spec : spec;
+  arch : Arch.t;
+  netlist : Netlist.t;
+  route : Global_route.t;
+  graph : Fpgasat_graph.Graph.t;
+  max_congestion : int;
+}
+
+let router ?(capacity = 4) () = { Global_router.default_params with capacity }
+
+(* Sizes are scaled so that the worst strategy of Table 2 (muldirect, no
+   symmetry breaking) refutes the hardest instances in tens of seconds to
+   minutes rather than the paper's days, while keeping the relative hardness
+   ordering: alu2/too_large near-instant, alu4/C880/apex7 a few seconds,
+   C1355/k2 tens of seconds, vda the worst by far. The parameters were
+   calibrated empirically against this repository's CDCL solver. *)
+let specs =
+  [
+    { name = "alu2"; grid = 7; nets = 55; max_fanout = 4; locality = 2; seed = 102; router = router ~capacity:6 () };
+    { name = "too_large"; grid = 7; nets = 62; max_fanout = 4; locality = 2; seed = 107; router = router ~capacity:6 () };
+    { name = "alu4"; grid = 9; nets = 120; max_fanout = 5; locality = 2; seed = 310; router = router ~capacity:8 () };
+    { name = "C880"; grid = 9; nets = 125; max_fanout = 5; locality = 2; seed = 211; router = router ~capacity:9 () };
+    { name = "apex7"; grid = 9; nets = 115; max_fanout = 4; locality = 3; seed = 207; router = router ~capacity:8 () };
+    { name = "C1355"; grid = 8; nets = 100; max_fanout = 5; locality = 2; seed = 211; router = router ~capacity:8 () };
+    { name = "vda"; grid = 11; nets = 170; max_fanout = 5; locality = 2; seed = 42; router = router ~capacity:9 () };
+    { name = "k2"; grid = 10; nets = 150; max_fanout = 5; locality = 2; seed = 310; router = router ~capacity:9 () };
+  ]
+
+let names = List.map (fun s -> s.name) specs
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.lowercase_ascii s.name = lower) specs
+
+let build spec =
+  let arch = Arch.create spec.grid in
+  let rng = Rng.create spec.seed in
+  let netlist =
+    Netlist.random ~rng ~arch ~num_nets:spec.nets ~max_fanout:spec.max_fanout
+      ~locality:spec.locality
+  in
+  let route = Global_router.route ~params:spec.router arch netlist in
+  let graph = Conflict_graph.build route in
+  let congestion = Congestion.of_route route in
+  {
+    spec;
+    arch;
+    netlist;
+    route;
+    graph;
+    max_congestion = Congestion.max_congestion congestion;
+  }
+
+let pp_instance fmt i =
+  Format.fprintf fmt "%s: grid=%dx%d nets=%d subnets=%d conflict=%a maxcong=%d"
+    i.spec.name i.spec.grid i.spec.grid (Netlist.num_nets i.netlist)
+    (Netlist.num_subnets i.netlist) Fpgasat_graph.Graph.pp i.graph
+    i.max_congestion

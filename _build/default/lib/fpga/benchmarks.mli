@@ -1,0 +1,42 @@
+(** The benchmark suite: synthetic stand-ins for the eight MCNC circuits of
+    Table 2.
+
+    The MCNC netlists and SEGA-1.1 global routings are not redistributable,
+    so each benchmark is a seeded synthetic instance (placement, netlist,
+    and a negotiated global routing) whose conflict graph reproduces what
+    the experiment needs: benchmarks later in the list yield larger, more
+    congested instances whose unroutability proofs are harder — preserving
+    the paper's relative ordering (alu2 and too_large easy; vda and k2
+    hardest). See DESIGN.md, "Substitutions". *)
+
+type spec = {
+  name : string;  (** MCNC name this instance stands in for. *)
+  grid : int;  (** FPGA array size [n × n]. *)
+  nets : int;
+  max_fanout : int;
+  locality : int;
+  seed : int;
+  router : Global_router.params;
+}
+
+type instance = {
+  spec : spec;
+  arch : Arch.t;
+  netlist : Netlist.t;
+  route : Global_route.t;
+  graph : Fpgasat_graph.Graph.t;  (** Conflict graph of the routing. *)
+  max_congestion : int;  (** Clique lower bound on the channel width. *)
+}
+
+val specs : spec list
+(** The eight benchmarks in Table 2's order: alu2, too_large, alu4, C880,
+    apex7, C1355, vda, k2. *)
+
+val names : string list
+val find : string -> spec option
+(** Case-insensitive lookup. *)
+
+val build : spec -> instance
+(** Deterministic: same spec, same instance. *)
+
+val pp_instance : Format.formatter -> instance -> unit

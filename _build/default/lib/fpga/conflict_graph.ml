@@ -1,0 +1,34 @@
+module G = Fpgasat_graph
+
+let build (gr : Global_route.t) =
+  let arch = gr.Global_route.arch in
+  let netlist = gr.Global_route.netlist in
+  let nsub = Netlist.num_subnets netlist in
+  let graph = G.Graph.create nsub in
+  (* bucket subnets by segment, then link different-parent pairs *)
+  let by_segment = Hashtbl.create 256 in
+  Array.iteri
+    (fun id path ->
+      List.iter
+        (fun seg ->
+          let sid = Arch.segment_id arch seg in
+          Hashtbl.replace by_segment sid
+            (id :: Option.value (Hashtbl.find_opt by_segment sid) ~default:[]))
+        path)
+    gr.Global_route.paths;
+  let parent id = netlist.Netlist.subnets.(id).Netlist.parent in
+  Hashtbl.iter
+    (fun _seg subnet_ids ->
+      let rec pairs = function
+        | [] -> ()
+        | a :: rest ->
+            List.iter
+              (fun b -> if parent a <> parent b then G.Graph.add_edge graph a b)
+              rest;
+            pairs rest
+      in
+      pairs subnet_ids)
+    by_segment;
+  graph
+
+let csp gr ~w = Fpgasat_encodings.Csp.make (build gr) ~k:w

@@ -1,0 +1,14 @@
+(** The reduction from detailed routing to graph colouring (paper, Sect. 2).
+
+    Vertices are 2-pin subnets; an edge joins two subnets of {e different}
+    multi-pin nets whose global paths share at least one channel segment.
+    Because subset switch blocks preserve the track along a path, sharing
+    several segments still yields a single disequality — the graph is simple
+    by construction. A detailed routing with [W] tracks exists iff this
+    graph is [W]-colourable. *)
+
+val build : Global_route.t -> Fpgasat_graph.Graph.t
+(** Vertex [i] is subnet [i] of the routing's netlist. *)
+
+val csp : Global_route.t -> w:int -> Fpgasat_encodings.Csp.t
+(** The colouring CSP asking for a detailed routing with [w] tracks. *)

@@ -1,0 +1,41 @@
+type t = { arch : Arch.t; usage : int array }
+
+let of_route (gr : Global_route.t) =
+  let arch = gr.Global_route.arch in
+  let nsegs = Arch.num_segments arch in
+  let parents_per_seg = Array.init nsegs (fun _ -> Hashtbl.create 4) in
+  Array.iteri
+    (fun id path ->
+      let parent = gr.Global_route.netlist.Netlist.subnets.(id).Netlist.parent in
+      List.iter
+        (fun seg -> Hashtbl.replace parents_per_seg.(Arch.segment_id arch seg) parent ())
+        path)
+    gr.Global_route.paths;
+  { arch; usage = Array.map Hashtbl.length parents_per_seg }
+
+let segment_usage t seg = t.usage.(Arch.segment_id t.arch seg)
+let max_congestion t = Array.fold_left max 0 t.usage
+
+let histogram t =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun u ->
+      if u > 0 then
+        Hashtbl.replace tbl u (1 + Option.value (Hashtbl.find_opt tbl u) ~default:0))
+    t.usage;
+  Hashtbl.fold (fun u c acc -> (u, c) :: acc) tbl [] |> List.sort compare
+
+let busiest t =
+  let m = max_congestion t in
+  let acc = ref [] in
+  Array.iteri
+    (fun id u -> if u = m && m > 0 then acc := (Arch.segment_of_id t.arch id, u) :: !acc)
+    t.usage;
+  List.rev !acc
+
+let pp fmt t =
+  Format.fprintf fmt "congestion(max=%d, histogram=%a)" (max_congestion t)
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       (fun fmt (u, c) -> Format.fprintf fmt "%d:%d" u c))
+    (histogram t)

@@ -1,0 +1,20 @@
+(** Channel congestion accounting.
+
+    The congestion of a segment is the number of {e distinct multi-pin
+    nets} whose subnets pass through it (same-net subnets may share a
+    track, so they count once). The maximum over all segments is a lower
+    bound on the channel width needed for a detailed routing: those nets
+    pairwise conflict, forming a clique in the conflict graph. *)
+
+type t
+
+val of_route : Global_route.t -> t
+val segment_usage : t -> Arch.segment -> int
+val max_congestion : t -> int
+val histogram : t -> (int * int) list
+(** [(usage, segment count)] pairs, ascending, zero-usage omitted. *)
+
+val busiest : t -> (Arch.segment * int) list
+(** Segments at maximal usage. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** FPGA substrate: the island-style array model, netlists, the global
+    router standing in for SEGA, congestion accounting, the reduction to
+    the colouring conflict graph, detailed-routing extraction/verification,
+    and the synthetic MCNC-like benchmark suite. *)
+
+module Arch = Arch
+module Netlist = Netlist
+module Rng = Rng
+module Global_route = Global_route
+module Global_router = Global_router
+module Congestion = Congestion
+module Conflict_graph = Conflict_graph
+module Detailed_route = Detailed_route
+module Benchmarks = Benchmarks
+module Serial = Serial
+module Render = Render

@@ -1,0 +1,26 @@
+(** Global routings: the channel-segment path of every 2-pin subnet.
+
+    This is the input to detailed routing — the paper takes these from
+    SEGA-1.1; here they come from {!Global_router}. A path is valid when its
+    consecutive segments share a switch block, its first segment is adjacent
+    to the subnet's source cell and its last to the sink cell. *)
+
+type t = private {
+  arch : Arch.t;
+  netlist : Netlist.t;
+  paths : Arch.segment list array;  (** Indexed by [subnet_id]. *)
+}
+
+val make : Arch.t -> Netlist.t -> Arch.segment list array -> (t, string) result
+(** Validates every path (see above) and that the array length matches the
+    subnet count. *)
+
+val make_exn : Arch.t -> Netlist.t -> Arch.segment list array -> t
+val path : t -> int -> Arch.segment list
+val total_wirelength : t -> int
+(** Sum of path lengths over all subnets. *)
+
+val segments_used : t -> int -> int list
+(** Segment ids of a subnet's path. *)
+
+val pp : Format.formatter -> t -> unit

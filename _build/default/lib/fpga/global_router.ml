@@ -1,0 +1,166 @@
+type params = {
+  iterations : int;
+  present_factor : float;
+  history_factor : float;
+  capacity : int;
+}
+
+let default_params =
+  { iterations = 8; present_factor = 0.7; history_factor = 0.35; capacity = 4 }
+
+(* Minimal binary heap of (cost, segment id) for Dijkstra; ids break ties so
+   routing is deterministic. *)
+module Pq = struct
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0., 0); size = 0 }
+  let lt (c1, i1) (c2, i2) = c1 < c2 || (c1 = c2 && i1 < i2)
+
+  let push q x =
+    if q.size = Array.length q.data then begin
+      let data = Array.make (2 * q.size) (0., 0) in
+      Array.blit q.data 0 data 0 q.size;
+      q.data <- data
+    end;
+    q.data.(q.size) <- x;
+    q.size <- q.size + 1;
+    let i = ref (q.size - 1) in
+    while !i > 0 && lt q.data.(!i) q.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let t = q.data.(!i) in
+      q.data.(!i) <- q.data.(p);
+      q.data.(p) <- t;
+      i := p
+    done
+
+  let pop q =
+    if q.size = 0 then None
+    else begin
+      let top = q.data.(0) in
+      q.size <- q.size - 1;
+      q.data.(0) <- q.data.(q.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < q.size && lt q.data.(l) q.data.(!best) then best := l;
+        if r < q.size && lt q.data.(r) q.data.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let t = q.data.(!i) in
+          q.data.(!i) <- q.data.(!best);
+          q.data.(!best) <- t;
+          i := !best
+        end
+      done;
+      Some top
+    end
+end
+
+let route ?(params = default_params) arch netlist =
+  let nsegs = Arch.num_segments arch in
+  let nsub = Netlist.num_subnets netlist in
+  (* occupancy.(seg) = set of parent nets currently using seg (as counts per
+     parent, so subnets of one net share freely) *)
+  let occupancy = Array.init nsegs (fun _ -> Hashtbl.create 4) in
+  let history = Array.make nsegs 0. in
+  let paths = Array.make nsub [] in
+  let adjacency =
+    Array.init nsegs (fun id ->
+        Arch.adjacent_segments arch (Arch.segment_of_id arch id)
+        |> List.map (Arch.segment_id arch))
+  in
+  let occupancy_count seg ~excluding =
+    Hashtbl.fold
+      (fun parent count acc ->
+        if parent = excluding || count = 0 then acc else acc + 1)
+      occupancy.(seg) 0
+  in
+  let occ_add seg parent =
+    let c = Option.value (Hashtbl.find_opt occupancy.(seg) parent) ~default:0 in
+    Hashtbl.replace occupancy.(seg) parent (c + 1)
+  in
+  let occ_remove seg parent =
+    match Hashtbl.find_opt occupancy.(seg) parent with
+    | Some c when c > 0 -> Hashtbl.replace occupancy.(seg) parent (c - 1)
+    | Some _ | None -> ()
+  in
+  let seg_cost seg ~parent =
+    let others = occupancy_count seg ~excluding:parent in
+    let over = max 0 (others + 1 - params.capacity) in
+    1.
+    +. (params.present_factor *. float_of_int over)
+    +. (params.history_factor *. history.(seg))
+  in
+  let dijkstra (subnet : Netlist.subnet) =
+    let dist = Array.make nsegs infinity in
+    let prev = Array.make nsegs (-1) in
+    let settled = Array.make nsegs false in
+    let q = Pq.create () in
+    let sources =
+      Arch.cell_segments arch subnet.Netlist.from_cell
+      |> List.map (Arch.segment_id arch)
+    in
+    let goals =
+      Arch.cell_segments arch subnet.Netlist.to_cell
+      |> List.map (Arch.segment_id arch)
+    in
+    List.iter
+      (fun s ->
+        let c = seg_cost s ~parent:subnet.Netlist.parent in
+        if c < dist.(s) then begin
+          dist.(s) <- c;
+          Pq.push q (c, s)
+        end)
+      sources;
+    let rec run () =
+      match Pq.pop q with
+      | None -> None
+      | Some (d, s) ->
+          if settled.(s) then run ()
+          else begin
+            settled.(s) <- true;
+            if List.mem s goals then Some s
+            else begin
+              List.iter
+                (fun s' ->
+                  if not settled.(s') then begin
+                    let c = d +. seg_cost s' ~parent:subnet.Netlist.parent in
+                    if c < dist.(s') then begin
+                      dist.(s') <- c;
+                      prev.(s') <- s;
+                      Pq.push q (c, s')
+                    end
+                  end)
+                adjacency.(s);
+              run ()
+            end
+          end
+    in
+    match run () with
+    | None -> assert false (* the segment graph is connected *)
+    | Some goal ->
+        let rec walk s acc = if s = -1 then acc else walk prev.(s) (s :: acc) in
+        walk goal []
+  in
+  let route_subnet (subnet : Netlist.subnet) =
+    let id = subnet.Netlist.subnet_id in
+    List.iter (fun s -> occ_remove s subnet.Netlist.parent) paths.(id);
+    let seg_ids = dijkstra subnet in
+    paths.(id) <- seg_ids;
+    List.iter (fun s -> occ_add s subnet.Netlist.parent) seg_ids
+  in
+  for _iter = 1 to params.iterations do
+    Array.iter route_subnet netlist.Netlist.subnets;
+    (* accumulate history on currently overused segments *)
+    for s = 0 to nsegs - 1 do
+      let users = occupancy_count s ~excluding:(-1) in
+      if users > params.capacity then
+        history.(s) <- history.(s) +. float_of_int (users - params.capacity)
+    done
+  done;
+  let segment_paths =
+    Array.map (List.map (Arch.segment_of_id arch)) paths
+  in
+  Global_route.make_exn arch netlist segment_paths

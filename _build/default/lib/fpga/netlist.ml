@@ -1,0 +1,77 @@
+type net = { net_id : int; source : Arch.cell; sinks : Arch.cell list }
+
+type subnet = {
+  subnet_id : int;
+  parent : int;
+  from_cell : Arch.cell;
+  to_cell : Arch.cell;
+}
+
+type t = { nets : net array; subnets : subnet array }
+
+let make nets =
+  let ids = List.map (fun n -> n.net_id) nets in
+  if List.length (List.sort_uniq compare ids) <> List.length ids then
+    invalid_arg "Netlist.make: duplicate net ids";
+  List.iter
+    (fun n ->
+      if n.sinks = [] then invalid_arg "Netlist.make: net without sinks";
+      if List.mem n.source n.sinks then
+        invalid_arg "Netlist.make: source listed as sink")
+    nets;
+  let subnets =
+    List.concat_map
+      (fun n -> List.map (fun sink -> (n.net_id, n.source, sink)) n.sinks)
+      nets
+  in
+  let subnets =
+    List.mapi
+      (fun i (parent, from_cell, to_cell) ->
+        { subnet_id = i; parent; from_cell; to_cell })
+      subnets
+  in
+  { nets = Array.of_list nets; subnets = Array.of_list subnets }
+
+let num_nets t = Array.length t.nets
+let num_subnets t = Array.length t.subnets
+
+let subnets_of_net t id =
+  Array.to_list t.subnets |> List.filter (fun s -> s.parent = id)
+
+let random ~rng ~arch ~num_nets ~max_fanout ~locality =
+  let n = Arch.size arch in
+  let random_cell () = (Rng.int rng n, Rng.int rng n) in
+  let clamp v = max 0 (min (n - 1) v) in
+  let sink_near (sx, sy) =
+    let dx = Rng.int rng ((2 * locality) + 1) - locality in
+    let dy = Rng.int rng ((2 * locality) + 1) - locality in
+    (clamp (sx + dx), clamp (sy + dy))
+  in
+  let gen_net id =
+    let source = random_cell () in
+    let fanout = 1 + Rng.int rng max_fanout in
+    let rec gather acc tries =
+      if List.length acc >= fanout || tries > 20 * fanout then acc
+      else
+        let s = sink_near source in
+        if s = source || List.mem s acc then gather acc (tries + 1)
+        else gather (s :: acc) (tries + 1)
+    in
+    let sinks =
+      match gather [] 0 with
+      | [] ->
+          (* locality 0 on a 1×1 grid cannot happen (n>=2 in practice);
+             fall back to any distinct cell *)
+          let rec any () =
+            let c = random_cell () in
+            if c = source then any () else c
+          in
+          [ any () ]
+      | sinks -> sinks
+    in
+    { net_id = id; source; sinks }
+  in
+  make (List.init num_nets gen_net)
+
+let pp fmt t =
+  Format.fprintf fmt "netlist(nets=%d, subnets=%d)" (num_nets t) (num_subnets t)

@@ -1,0 +1,40 @@
+(** Netlists: multi-pin nets over placed logic blocks, and their
+    decomposition into 2-pin subnets (paper, Sect. 2: "each multi-pin net is
+    decomposed into a collection of 2-pin nets").
+
+    Subnets of the same parent net never conflict with each other; subnets
+    of different nets passing through a common channel segment must use
+    different tracks. *)
+
+type net = { net_id : int; source : Arch.cell; sinks : Arch.cell list }
+
+type subnet = {
+  subnet_id : int;  (** Dense id: index into route/colour arrays. *)
+  parent : int;  (** [net_id] of the owning multi-pin net. *)
+  from_cell : Arch.cell;
+  to_cell : Arch.cell;
+}
+
+type t = private { nets : net array; subnets : subnet array }
+
+val make : net list -> t
+(** Star decomposition: one subnet per (source, sink) pair. Raises
+    [Invalid_argument] on a net whose source appears among its sinks, an
+    empty sink list, or duplicate net ids. *)
+
+val num_nets : t -> int
+val num_subnets : t -> int
+val subnets_of_net : t -> int -> subnet list
+
+val random :
+  rng:Rng.t ->
+  arch:Arch.t ->
+  num_nets:int ->
+  max_fanout:int ->
+  locality:int ->
+  t
+(** Synthetic netlist: sources placed uniformly; each net gets
+    [1 .. max_fanout] distinct sinks within Chebyshev distance [locality]
+    of the source (locality models Rent-style short wires). *)
+
+val pp : Format.formatter -> t -> unit

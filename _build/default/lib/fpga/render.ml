@@ -1,0 +1,56 @@
+(* The array is drawn on a character grid: cell (x, y) occupies a 4-wide,
+   2-tall tile; vertical channel segments sit between tiles, horizontal ones
+   between rows. Row y = 0 is printed last (bottom). *)
+
+let glyph n =
+  if n = 0 then '.'
+  else if n <= 9 then Char.chr (Char.code '0' + n)
+  else '*'
+
+let draw arch mark =
+  let n = Arch.size arch in
+  let buf = Buffer.create 1024 in
+  (* top to bottom: horizontal channel y = n, then row n-1, etc. *)
+  let horizontal_channel y =
+    Buffer.add_string buf "  ";
+    for x = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "+-%c-" (mark { Arch.dir = Arch.Horizontal; sx = x; sy = y }))
+    done;
+    Buffer.add_string buf "+\n"
+  in
+  let cell_row y =
+    Buffer.add_string buf (Printf.sprintf "%2d" y);
+    for x = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%c[ ]" (mark { Arch.dir = Arch.Vertical; sx = x; sy = y }))
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "%c\n" (mark { Arch.dir = Arch.Vertical; sx = n; sy = y }))
+  in
+  for y = n downto 0 do
+    horizontal_channel y;
+    if y > 0 then cell_row (y - 1)
+  done;
+  Buffer.add_string buf "  ";
+  for x = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d " (x mod 10))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let congestion_map gr =
+  let congestion = Congestion.of_route gr in
+  let mark seg = glyph (Congestion.segment_usage congestion seg) in
+  draw gr.Global_route.arch mark
+
+let subnet_path gr id =
+  let arch = gr.Global_route.arch in
+  let path = gr.Global_route.paths.(id) in
+  let subnet = gr.Global_route.netlist.Netlist.subnets.(id) in
+  let on_path seg = List.mem seg path in
+  let mark seg = if on_path seg then '#' else '.' in
+  let base = draw arch mark in
+  let sx, sy = subnet.Netlist.from_cell and tx, ty = subnet.Netlist.to_cell in
+  Printf.sprintf "subnet %d: net %d, (%d,%d) -> (%d,%d), %d segments\n%s" id
+    subnet.Netlist.parent sx sy tx ty (List.length path) base

@@ -1,0 +1,13 @@
+(** ASCII rendering of the FPGA array.
+
+    A quick visual check of what the global router produced: logic blocks
+    as [[ ]], each channel segment annotated with its congestion (number of
+    distinct nets through it), [.] for idle segments. Row 0 is drawn at the
+    bottom, matching the coordinate system. *)
+
+val congestion_map : Global_route.t -> string
+(** The whole array with per-segment usage digits (values above 9 print as
+    [*]). *)
+
+val subnet_path : Global_route.t -> int -> string
+(** The array with one subnet's path marked [#], its endpoints [S]/[T]. *)

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let create seed =
+  let s = Int64.of_int seed in
+  let s = Int64.mul (Int64.add s 0x9E3779B97F4A7C15L) 0x2545F4914F6CDD1DL in
+  { state = (if Int64.equal s 0L then 0x853C49E6748FEA9BL else s) }
+
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let float t =
+  let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+  float_of_int bits /. float_of_int (1 lsl 53)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  let f = float t in
+  let v = int_of_float (f *. float_of_int bound) in
+  if v >= bound then bound - 1 else v
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (xorshift64-star).
+
+    The benchmark generator must produce bit-identical instances across
+    machines and OCaml versions, so it uses this instead of [Random]. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; the seed is mixed, so small seeds are fine. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates. *)

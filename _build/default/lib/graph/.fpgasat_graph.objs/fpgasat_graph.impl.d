@@ -1,0 +1,1 @@
+lib/graph/fpgasat_graph.ml: Clique Coloring Dimacs_col Dot Exact_coloring Graph Greedy

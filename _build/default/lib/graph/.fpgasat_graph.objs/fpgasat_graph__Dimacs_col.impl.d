@@ -1,0 +1,1 @@
+lib/graph/dimacs_col.ml: Buffer Graph List Printf String

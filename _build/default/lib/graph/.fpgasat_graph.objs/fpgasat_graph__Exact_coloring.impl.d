@@ -1,0 +1,1 @@
+lib/graph/exact_coloring.ml: Array Clique Coloring Fun Graph Greedy List

@@ -1,0 +1,1 @@
+lib/graph/exact_coloring.mli: Coloring Graph

@@ -1,0 +1,1 @@
+lib/graph/greedy.ml: Array Coloring Fun Graph List

@@ -1,0 +1,1 @@
+lib/graph/greedy.mli: Coloring Graph

@@ -1,0 +1,25 @@
+let greedy g =
+  let n = Graph.num_vertices g in
+  if n = 0 then []
+  else begin
+    let by_degree_desc =
+      List.sort
+        (fun a b -> compare (Graph.degree g b, a) (Graph.degree g a, b))
+        (List.init n Fun.id)
+    in
+    let in_clique = Array.make n false in
+    let clique = ref [] in
+    let compatible v =
+      List.for_all (fun u -> Graph.mem_edge g u v) !clique
+    in
+    List.iter
+      (fun v ->
+        if (not in_clique.(v)) && compatible v then begin
+          in_clique.(v) <- true;
+          clique := v :: !clique
+        end)
+      by_degree_desc;
+    List.rev !clique
+  end
+
+let lower_bound g = List.length (greedy g)

@@ -1,0 +1,13 @@
+(** Greedy clique lower bound.
+
+    A clique of size [c] forces at least [c] colours, i.e. at least [c]
+    tracks in the FPGA reading. The flow uses this to skip SAT calls for
+    trivially unroutable widths, and the benchmark generator uses it to
+    check that the hard UNSAT instances are not refuted by a clique alone. *)
+
+val greedy : Graph.t -> int list
+(** A maximal (not maximum) clique, grown greedily from the highest-degree
+    vertex, preferring high-degree candidates. Empty for the empty graph. *)
+
+val lower_bound : Graph.t -> int
+(** Size of {!greedy}'s clique. *)

@@ -1,0 +1,30 @@
+type t = int array
+
+let num_colors c = Array.fold_left (fun acc x -> max acc (x + 1)) 0 c
+
+type violation =
+  | Out_of_range of int
+  | Monochromatic_edge of int * int
+
+exception Found of violation
+
+let check g ~k coloring =
+  if Array.length coloring <> Graph.num_vertices g then
+    invalid_arg "Coloring.check: length mismatch";
+  try
+    Array.iteri
+      (fun v c -> if c < 0 || c >= k then raise (Found (Out_of_range v)))
+      coloring;
+    Graph.iter_edges
+      (fun u v ->
+        if coloring.(u) = coloring.(v) then raise (Found (Monochromatic_edge (u, v))))
+      g;
+    Ok ()
+  with Found viol -> Error viol
+
+let is_proper g ~k coloring = Result.is_ok (check g ~k coloring)
+
+let pp_violation fmt = function
+  | Out_of_range v -> Format.fprintf fmt "vertex %d has an out-of-range colour" v
+  | Monochromatic_edge (u, v) ->
+      Format.fprintf fmt "edge (%d, %d) is monochromatic" u v

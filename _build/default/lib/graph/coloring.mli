@@ -1,0 +1,22 @@
+(** Vertex colourings and their verification.
+
+    A colouring assigns each vertex a colour in [0 .. k-1]. In the FPGA
+    interpretation a colour is a routing track, so verification here is the
+    final word on whether a decoded SAT model is a legal detailed routing. *)
+
+type t = int array
+(** [t.(v)] is the colour of vertex [v]. *)
+
+val num_colors : t -> int
+(** [1 + max colour], [0] for the empty colouring. *)
+
+type violation =
+  | Out_of_range of int  (** Vertex whose colour is outside [0, k). *)
+  | Monochromatic_edge of int * int  (** Adjacent vertices sharing a colour. *)
+
+val check : Graph.t -> k:int -> t -> (unit, violation) result
+(** First violation found, if any. Raises [Invalid_argument] if the
+    colouring's length differs from the vertex count. *)
+
+val is_proper : Graph.t -> k:int -> t -> bool
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,12 @@
+(** DIMACS graph ("col") format — the paper's intermediate representation.
+
+    The paper's tool flow first emits the FPGA conflict graph in this format
+    ([p edge <n> <m>] header, [e <u> <v>] edge lines, 1-based vertices) so
+    that any graph-colouring-to-SAT tool can pick it up. *)
+
+exception Parse_error of string
+
+val parse_string : string -> Graph.t
+val parse_file : string -> Graph.t
+val to_string : ?comments:string list -> Graph.t -> string
+val write_file : string -> ?comments:string list -> Graph.t -> unit

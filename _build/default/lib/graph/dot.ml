@@ -1,0 +1,29 @@
+let palette =
+  [|
+    "lightblue"; "salmon"; "palegreen"; "gold"; "plum"; "khaki"; "lightcyan";
+    "orange"; "pink"; "gray80";
+  |]
+
+let to_dot ?(name = "g") ?coloring g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [style=filled];\n";
+  for v = 0 to Graph.num_vertices g - 1 do
+    match coloring with
+    | Some c when v < Array.length c && c.(v) >= 0 ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %d [label=\"%d/%d\", fillcolor=%s];\n" v v c.(v)
+             palette.(c.(v) mod Array.length palette))
+    | Some _ | None ->
+        Buffer.add_string buf (Printf.sprintf "  %d [fillcolor=white];\n" v)
+  done;
+  Graph.iter_edges
+    (fun u v -> Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path ?name ?coloring g =
+  let oc = open_out path in
+  output_string oc (to_dot ?name ?coloring g);
+  close_out oc

@@ -1,0 +1,7 @@
+(** Graphviz export, for inspecting conflict graphs and colourings. *)
+
+val to_dot : ?name:string -> ?coloring:Coloring.t -> Graph.t -> string
+(** DOT source for the graph; when a colouring is given, vertices are filled
+    from a rotating palette and labelled ["v/c"]. *)
+
+val write_file : string -> ?name:string -> ?coloring:Coloring.t -> Graph.t -> unit

@@ -1,0 +1,83 @@
+type answer =
+  | Colorable of Coloring.t
+  | Uncolorable
+  | Exhausted
+
+exception Found of int array
+exception Out_of_nodes
+
+(* DSATUR-style branch and bound: always branch on the uncoloured vertex
+   with the highest saturation (ties: degree), try existing colours first
+   and at most one fresh colour — standard symmetry avoidance that keeps
+   the search from re-deriving colour permutations. *)
+let k_colorable ?(max_nodes = 10_000_000) g ~k =
+  if k < 0 then invalid_arg "Exact_coloring.k_colorable";
+  let n = Graph.num_vertices g in
+  if n = 0 then Colorable [||]
+  else begin
+    let colors = Array.make n (-1) in
+    let nodes = ref 0 in
+    let adjacent_colors v =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun w -> if colors.(w) >= 0 then Some colors.(w) else None)
+           (Graph.neighbors g v))
+    in
+    let pick () =
+      let best = ref (-1) in
+      let best_key = ref (-1, -1) in
+      for v = 0 to n - 1 do
+        if colors.(v) < 0 then begin
+          let key = (List.length (adjacent_colors v), Graph.degree g v) in
+          if key > !best_key then begin
+            best_key := key;
+            best := v
+          end
+        end
+      done;
+      !best
+    in
+    let rec branch colored used =
+      incr nodes;
+      if !nodes > max_nodes then raise Out_of_nodes;
+      if colored = n then raise (Found (Array.copy colors))
+      else begin
+        let v = pick () in
+        let forbidden = adjacent_colors v in
+        (* existing colours, then one fresh colour if allowed *)
+        let candidates =
+          List.filter (fun c -> not (List.mem c forbidden)) (List.init used Fun.id)
+          @ (if used < k then [ used ] else [])
+        in
+        List.iter
+          (fun c ->
+            colors.(v) <- c;
+            branch (colored + 1) (max used (c + 1));
+            colors.(v) <- -1)
+          candidates
+      end
+    in
+    match branch 0 0 with
+    | () -> Uncolorable
+    | exception Found coloring -> Colorable coloring
+    | exception Out_of_nodes -> Exhausted
+  end
+
+type chromatic = Exact of int | Bounds of int * int
+
+let chromatic_number ?max_nodes g =
+  let lower = max 1 (Clique.lower_bound g) in
+  let upper = max lower (Greedy.upper_bound g) in
+  if Graph.num_vertices g = 0 then Exact 0
+  else
+    (* walk down from the DSATUR bound (which always succeeds); the first
+       refusal pins the chromatic number exactly *)
+    let rec go k best_upper =
+      if k < lower then Exact lower
+      else
+        match k_colorable ?max_nodes g ~k with
+        | Colorable _ -> go (k - 1) k
+        | Uncolorable -> Exact best_upper
+        | Exhausted -> Bounds (lower, best_upper)
+    in
+    go upper (upper + 1)

@@ -1,0 +1,15 @@
+(** Graph-colouring substrate.
+
+    FPGA detailed routing reduces to graph colouring (Wu & Marek-Sadowska,
+    cited as [45] in the paper); this library holds the graph representation,
+    the DIMACS ".col" interchange format the paper's tool flow emits,
+    colouring verification, and the classic greedy bounds used to bracket
+    SAT queries. *)
+
+module Graph = Graph
+module Coloring = Coloring
+module Greedy = Greedy
+module Clique = Clique
+module Dimacs_col = Dimacs_col
+module Dot = Dot
+module Exact_coloring = Exact_coloring

@@ -1,0 +1,95 @@
+type t = {
+  n : int;
+  adj : int list array; (* reversed insertion order per vertex *)
+  deg : int array;
+  edge_set : (int, unit) Hashtbl.t; (* key = min * n + max *)
+  mutable m : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Graph.create";
+  {
+    n;
+    adj = Array.make (max n 1) [];
+    deg = Array.make (max n 1) 0;
+    edge_set = Hashtbl.create 64;
+    m = 0;
+  }
+
+let num_vertices g = g.n
+let num_edges g = g.m
+
+let check_vertex g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph: vertex out of range"
+
+let key g u v = if u < v then (u * g.n) + v else (v * g.n) + u
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  Hashtbl.mem g.edge_set (key g u v)
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  let k = key g u v in
+  if not (Hashtbl.mem g.edge_set k) then begin
+    Hashtbl.add g.edge_set k ();
+    g.adj.(u) <- v :: g.adj.(u);
+    g.adj.(v) <- u :: g.adj.(v);
+    g.deg.(u) <- g.deg.(u) + 1;
+    g.deg.(v) <- g.deg.(v) + 1;
+    g.m <- g.m + 1
+  end
+
+let neighbors g v =
+  check_vertex g v;
+  List.rev g.adj.(v)
+
+let degree g v =
+  check_vertex g v;
+  g.deg.(v)
+
+let iter_edges f g =
+  for u = 0 to g.n - 1 do
+    List.iter (fun v -> if u < v then f u v) g.adj.(u)
+  done
+
+let edges g =
+  let acc = ref [] in
+  iter_edges (fun u v -> acc := (u, v) :: !acc) g;
+  List.rev !acc
+
+let of_edges n edge_list =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edge_list;
+  g
+
+let max_degree_vertex g =
+  if g.n = 0 then invalid_arg "Graph.max_degree_vertex: empty graph";
+  let best = ref 0 in
+  for v = 1 to g.n - 1 do
+    if g.deg.(v) > g.deg.(!best) then best := v
+  done;
+  !best
+
+let neighbor_degree_sum g v =
+  check_vertex g v;
+  List.fold_left (fun acc w -> acc + g.deg.(w)) 0 g.adj.(v)
+
+let density g =
+  if g.n < 2 then 0.
+  else 2. *. float_of_int g.m /. (float_of_int g.n *. float_of_int (g.n - 1))
+
+let copy g =
+  {
+    n = g.n;
+    adj = Array.copy g.adj;
+    deg = Array.copy g.deg;
+    edge_set = Hashtbl.copy g.edge_set;
+    m = g.m;
+  }
+
+let pp fmt g =
+  Format.fprintf fmt "graph(n=%d, m=%d, density=%.3f)" g.n g.m (density g)

@@ -1,0 +1,46 @@
+(** Undirected simple graphs over vertices [0 .. n-1].
+
+    This is the CSP-graph representation from the paper: vertices are 2-pin
+    nets, edges are exclusivity constraints ("must be routed on different
+    tracks"), and colours are tracks. Self-loops are rejected (a vertex
+    cannot conflict with itself) and parallel edges are deduplicated, which
+    realises the paper's rule that a pair of nets sharing several connection
+    blocks yields a single constraint. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the edgeless graph on [n] vertices. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+val add_edge : t -> int -> int -> unit
+(** Adds an undirected edge. Duplicate additions are ignored; self-loops
+    raise [Invalid_argument]. *)
+
+val mem_edge : t -> int -> int -> bool
+val neighbors : t -> int -> int list
+(** In insertion order. *)
+
+val degree : t -> int -> int
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+(** Each edge visited once, with the smaller endpoint first. *)
+
+val edges : t -> (int * int) list
+val of_edges : int -> (int * int) list -> t
+val max_degree_vertex : t -> int
+(** Ties broken by the smaller index. Raises [Invalid_argument] on the empty
+    graph. *)
+
+val neighbor_degree_sum : t -> int -> int
+(** Sum of the degrees of a vertex's neighbours — the tie-breaker used by
+    the paper's symmetry-breaking heuristics. *)
+
+val density : t -> float
+(** [2m / (n (n - 1))]; [0.] for graphs with fewer than two vertices. *)
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+let smallest_free used =
+  let rec go c = if List.mem c used then go (c + 1) else c in
+  go 0
+
+let sequential ?order g =
+  let n = Graph.num_vertices g in
+  let order = match order with Some o -> o | None -> List.init n Fun.id in
+  let coloring = Array.make n (-1) in
+  let color v =
+    let used =
+      List.filter_map
+        (fun w -> if coloring.(w) >= 0 then Some coloring.(w) else None)
+        (Graph.neighbors g v)
+    in
+    coloring.(v) <- smallest_free used
+  in
+  List.iter color order;
+  coloring
+
+let dsatur g =
+  let n = Graph.num_vertices g in
+  let coloring = Array.make n (-1) in
+  let adjacent_colors = Array.make n [] in
+  let saturation v = List.length (List.sort_uniq compare adjacent_colors.(v)) in
+  let pick () =
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if coloring.(v) < 0 then
+        if !best < 0 then best := v
+        else
+          let sv = saturation v and sb = saturation !best in
+          if sv > sb || (sv = sb && Graph.degree g v > Graph.degree g !best) then
+            best := v
+    done;
+    !best
+  in
+  let rec loop () =
+    let v = pick () in
+    if v >= 0 then begin
+      let c = smallest_free (List.sort_uniq compare adjacent_colors.(v)) in
+      coloring.(v) <- c;
+      List.iter
+        (fun w -> adjacent_colors.(w) <- c :: adjacent_colors.(w))
+        (Graph.neighbors g v);
+      loop ()
+    end
+  in
+  loop ();
+  coloring
+
+let upper_bound g = Coloring.num_colors (dsatur g)

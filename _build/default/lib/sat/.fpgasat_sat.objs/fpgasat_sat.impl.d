@@ -1,0 +1,1 @@
+lib/sat/fpgasat_sat.ml: Clause Cnf Dimacs_cnf Dpll Drat_check Heap Lit Luby Proof Simplify Solver Stats Vec Walksat

@@ -1,0 +1,1 @@
+lib/sat/dimacs_cnf.ml: Array Buffer Cnf List Lit Option Printf String

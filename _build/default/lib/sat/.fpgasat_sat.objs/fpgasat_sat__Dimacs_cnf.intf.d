@@ -1,0 +1,1 @@
+lib/sat/dimacs_cnf.mli: Cnf

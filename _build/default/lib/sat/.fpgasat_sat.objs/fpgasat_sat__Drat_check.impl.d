@@ -1,0 +1,1 @@
+lib/sat/drat_check.ml: Array Cnf Format List Lit Proof

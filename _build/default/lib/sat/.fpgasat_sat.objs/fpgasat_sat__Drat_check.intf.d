@@ -1,0 +1,1 @@
+lib/sat/drat_check.mli: Cnf Format Lit Proof

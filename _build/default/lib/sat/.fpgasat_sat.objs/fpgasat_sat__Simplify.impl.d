@@ -1,0 +1,1 @@
+lib/sat/simplify.ml: Array Cnf Format Hashtbl List Lit Option Solver Stats

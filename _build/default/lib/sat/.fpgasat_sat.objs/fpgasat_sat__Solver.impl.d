@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Array Clause Cnf Heap Int Int64 List Lit Luby Proof Set Stats Sys Vec

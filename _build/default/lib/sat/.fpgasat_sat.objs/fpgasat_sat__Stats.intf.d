@@ -1,0 +1,1 @@
+lib/sat/stats.mli: Format

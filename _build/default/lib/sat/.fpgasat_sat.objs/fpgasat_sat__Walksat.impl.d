@@ -1,0 +1,1 @@
+lib/sat/walksat.ml: Array Cnf Int64 List Lit Vec

@@ -1,0 +1,25 @@
+type t = {
+  lits : Lit.t array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+let make ?(learnt = false) lits =
+  { lits; learnt; activity = 0.; lbd = 0; deleted = false }
+
+let size c = Array.length c.lits
+let get c i = c.lits.(i)
+
+let swap c i j =
+  let t = c.lits.(i) in
+  c.lits.(i) <- c.lits.(j);
+  c.lits.(j) <- t
+
+let to_list c = Array.to_list c.lits
+
+let pp fmt c =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ' ')
+    Lit.pp fmt (to_list c)

@@ -1,0 +1,23 @@
+(** Clauses as stored by the CDCL solver.
+
+    A clause owns a mutable literal array (literals are reordered by the
+    watched-literal scheme) plus the learnt-clause bookkeeping (activity for
+    database reduction, LBD as a quality measure). *)
+
+type t = {
+  lits : Lit.t array;
+  learnt : bool;
+  mutable activity : float;
+  mutable lbd : int;
+  mutable deleted : bool;
+}
+
+val make : ?learnt:bool -> Lit.t array -> t
+(** [make lits] builds a clause. The array is owned by the clause. *)
+
+val size : t -> int
+val get : t -> int -> Lit.t
+val swap : t -> int -> int -> unit
+val to_list : t -> Lit.t list
+val pp : Format.formatter -> t -> unit
+(** Space-separated DIMACS literals, without the trailing 0. *)

@@ -1,0 +1,55 @@
+type t = {
+  mutable nvars : int;
+  mutable nlits : int;
+  clauses : Lit.t array Vec.t;
+}
+
+let create () =
+  { nvars = 0; nlits = 0; clauses = Vec.create ~dummy:[||] () }
+
+let fresh_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  v
+
+let fresh_vars t n = Array.init n (fun _ -> fresh_var t)
+let num_vars t = t.nvars
+let num_clauses t = Vec.size t.clauses
+let ensure_vars t n = if n > t.nvars then t.nvars <- n
+
+(* Sort, dedupe, and detect tautologies; complementary literals are adjacent
+   after sorting because they share the variable part of the encoding. *)
+let normalise lits =
+  let sorted = List.sort_uniq Lit.compare lits in
+  let rec tauto = function
+    | a :: (b :: _ as rest) ->
+        (a lxor b) = 1 || tauto rest
+    | [ _ ] | [] -> false
+  in
+  if tauto sorted then None else Some sorted
+
+let add_clause t lits =
+  List.iter
+    (fun l ->
+      if Lit.var l < 0 || Lit.var l >= t.nvars then
+        invalid_arg "Cnf.add_clause: unallocated variable")
+    lits;
+  match normalise lits with
+  | None -> ()
+  | Some lits ->
+      let arr = Array.of_list lits in
+      t.nlits <- t.nlits + Array.length arr;
+      Vec.push t.clauses arr
+
+let clauses t = List.map Array.copy (Vec.to_list t.clauses)
+let iter_clauses f t = Vec.iter f t.clauses
+
+let copy t =
+  let c = create () in
+  c.nvars <- t.nvars;
+  c.nlits <- t.nlits;
+  iter_clauses (fun arr -> Vec.push c.clauses (Array.copy arr)) t;
+  c
+
+let pp_stats fmt t =
+  Format.fprintf fmt "v=%d c=%d lits=%d" t.nvars (num_clauses t) t.nlits

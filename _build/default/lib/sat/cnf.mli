@@ -1,0 +1,38 @@
+(** CNF formulas under construction.
+
+    This is the builder the encoders write into: a fresh-variable allocator
+    plus an append-only clause store. Clauses are lists of {!Lit.t}. The
+    builder performs light normalisation: duplicate literals are removed and
+    tautological clauses (containing [l] and [not l]) are dropped. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_var : t -> Lit.var
+(** Allocates the next unused variable. *)
+
+val fresh_vars : t -> int -> Lit.var array
+(** [fresh_vars t n] allocates [n] consecutive fresh variables. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val add_clause : t -> Lit.t list -> unit
+(** Adds a clause. Duplicate literals are removed; tautologies are ignored.
+    Adding the empty clause is allowed and makes the formula trivially
+    unsatisfiable. Raises [Invalid_argument] if a literal mentions a variable
+    that was never allocated. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars t n] makes sure variables [0 .. n-1] exist. *)
+
+val clauses : t -> Lit.t array list
+(** Clauses in insertion order. The arrays are fresh copies. *)
+
+val iter_clauses : (Lit.t array -> unit) -> t -> unit
+
+val copy : t -> t
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line "v=… c=… lits=…" summary. *)

@@ -1,0 +1,96 @@
+exception Parse_error of string
+
+let fail line msg = raise (Parse_error (Printf.sprintf "line %d: %s" line msg))
+
+(* Tokenise into ints, tracking line numbers for error messages; the header
+   determines how many variables to allocate, and each 0 closes a clause. *)
+let parse_lines lines =
+  let cnf = Cnf.create () in
+  let header = ref None in
+  let current = ref [] in
+  let nclauses = ref 0 in
+  let handle_token lineno tok =
+    match !header with
+    | None -> fail lineno (Printf.sprintf "unexpected token %S before header" tok)
+    | Some (nv, _) -> (
+        match int_of_string_opt tok with
+        | None -> fail lineno (Printf.sprintf "not an integer: %S" tok)
+        | Some 0 ->
+            Cnf.add_clause cnf (List.rev !current);
+            incr nclauses;
+            current := []
+        | Some d ->
+            if abs d > nv then
+              fail lineno
+                (Printf.sprintf "literal %d out of range (header says %d vars)" d nv);
+            current := Lit.of_dimacs d :: !current)
+  in
+  let handle_line lineno line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      if !header <> None then fail lineno "duplicate header";
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "cnf"; nv; nc ] -> (
+          match (int_of_string_opt nv, int_of_string_opt nc) with
+          | Some nv, Some nc when nv >= 0 && nc >= 0 ->
+              header := Some (nv, nc);
+              Cnf.ensure_vars cnf nv
+          | _ -> fail lineno "malformed p cnf header")
+      | _ -> fail lineno "malformed p cnf header"
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.concat_map (String.split_on_char '\t')
+      |> List.filter (fun s -> s <> "")
+      |> List.iter (handle_token lineno)
+  in
+  List.iteri (fun i line -> handle_line (i + 1) line) lines;
+  (match !header with
+  | None -> raise (Parse_error "missing p cnf header")
+  | Some _ -> ());
+  if !current <> [] then raise (Parse_error "unterminated clause at end of input");
+  cnf
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let parse_file path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | line -> read (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  parse_lines lines
+
+let output oc ?(comments = []) cnf =
+  List.iter (fun c -> Printf.fprintf oc "c %s\n" c) comments;
+  Printf.fprintf oc "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf);
+  Cnf.iter_clauses
+    (fun lits ->
+      Array.iter (fun l -> Printf.fprintf oc "%d " (Lit.to_dimacs l)) lits;
+      output_string oc "0\n")
+    cnf
+
+let to_string ?comments cnf =
+  let buf = Buffer.create 1024 in
+  let comments = Option.value comments ~default:[] in
+  List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "c %s\n" c)) comments;
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf));
+  Cnf.iter_clauses
+    (fun lits ->
+      Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) lits;
+      Buffer.add_string buf "0\n")
+    cnf;
+  Buffer.contents buf
+
+let write_file path ?comments cnf =
+  let oc = open_out path in
+  (match comments with
+  | Some c -> output oc ~comments:c cnf
+  | None -> output oc cnf);
+  close_out oc

@@ -1,0 +1,18 @@
+(** DIMACS CNF reader and writer.
+
+    The standard [p cnf <vars> <clauses>] format: comment lines start with
+    ["c"], clauses are 0-terminated integer lists and may span several
+    lines. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (including a line number) on
+    malformed input. *)
+
+val parse_string : string -> Cnf.t
+val parse_file : string -> Cnf.t
+
+val output : out_channel -> ?comments:string list -> Cnf.t -> unit
+(** Writes the formula, preceded by the given comment lines. *)
+
+val to_string : ?comments:string list -> Cnf.t -> string
+val write_file : string -> ?comments:string list -> Cnf.t -> unit

@@ -1,0 +1,88 @@
+type result = Sat of bool array | Unsat | Unknown
+
+exception Budget
+
+(* Assignment: -1 false, 0 undef, 1 true. Clauses are literal arrays. The
+   solver re-scans clauses for units — quadratic, but this module exists for
+   correctness (cross-checking the CDCL solver), not speed. *)
+let solve ?max_decisions cnf =
+  let nvars = Cnf.num_vars cnf in
+  let clauses = Array.of_list (Cnf.clauses cnf) in
+  let assigns = Array.make (max nvars 1) 0 in
+  let decisions = ref 0 in
+  let value_lit l =
+    let a = assigns.(Lit.var l) in
+    if Lit.sign l then a else -a
+  in
+  (* Returns [`Conflict] or [`Fixpoint units] where units are the literals
+     assigned during this propagation (to undo on backtrack). *)
+  let propagate () =
+    let assigned = ref [] in
+    let conflict = ref false in
+    let progress = ref true in
+    while !progress && not !conflict do
+      progress := false;
+      Array.iter
+        (fun lits ->
+          if not !conflict then begin
+            let unassigned = ref [] in
+            let satisfied = ref false in
+            Array.iter
+              (fun l ->
+                match value_lit l with
+                | 1 -> satisfied := true
+                | 0 -> unassigned := l :: !unassigned
+                | _ -> ())
+              lits;
+            if not !satisfied then
+              match !unassigned with
+              | [] -> conflict := true
+              | [ l ] ->
+                  assigns.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+                  assigned := l :: !assigned;
+                  progress := true
+              | _ :: _ :: _ -> ()
+          end)
+        clauses
+    done;
+    if !conflict then begin
+      List.iter (fun l -> assigns.(Lit.var l) <- 0) !assigned;
+      `Conflict
+    end
+    else `Fixpoint !assigned
+  in
+  let undo lits = List.iter (fun l -> assigns.(Lit.var l) <- 0) lits in
+  let next_var () =
+    let rec go v = if v >= nvars then None else if assigns.(v) = 0 then Some v else go (v + 1) in
+    go 0
+  in
+  let rec search () =
+    match propagate () with
+    | `Conflict -> false
+    | `Fixpoint units -> (
+        match next_var () with
+        | None -> true
+        | Some v ->
+            (match max_decisions with
+            | Some m when !decisions >= m -> raise Budget
+            | Some _ | None -> ());
+            incr decisions;
+            let try_phase sign =
+              assigns.(v) <- (if sign then 1 else -1);
+              if search () then true
+              else begin
+                assigns.(v) <- 0;
+                false
+              end
+            in
+            if try_phase true then true
+            else if try_phase false then true
+            else begin
+              undo units;
+              false
+            end)
+  in
+  match search () with
+  | true -> Sat (Array.init nvars (fun v -> assigns.(v) > 0))
+  | false -> Unsat
+  | exception Budget -> Unknown

@@ -1,0 +1,11 @@
+(** A plain DPLL solver (unit propagation + chronological backtracking).
+
+    Deliberately simple and independent of {!Solver}'s data structures so the
+    two can cross-check each other in tests, and so the benchmark harness can
+    show why clause learning matters. Only suitable for small formulas. *)
+
+type result = Sat of bool array | Unsat | Unknown
+
+val solve : ?max_decisions:int -> Cnf.t -> result
+(** [solve cnf] decides satisfiability. [max_decisions] bounds the search
+    (default: unbounded); when exceeded the answer is [Unknown]. *)

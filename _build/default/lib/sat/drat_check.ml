@@ -1,0 +1,133 @@
+type error = { step_index : int; reason : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "proof step %d: %s" e.step_index e.reason
+
+(* The checker keeps every clause in occurrence lists indexed by literal and
+   runs plain scanning unit propagation with an undo trail. Simplicity over
+   speed: it re-derives each addition independently, which is plenty for the
+   proof sizes the tests and examples produce. *)
+type checker = {
+  mutable nvars : int;
+  mutable assignment : int array; (* -1 false, 0 undef, 1 true *)
+  mutable clauses : (Lit.t array * bool ref) list;
+      (* all clauses with a live flag, newest first (deleted = false) *)
+}
+
+let create nvars =
+  { nvars; assignment = Array.make (max nvars 1) 0; clauses = [] }
+
+let grow st v =
+  if v >= st.nvars then begin
+    let n = v + 1 in
+    let a = Array.make n 0 in
+    Array.blit st.assignment 0 a 0 st.nvars;
+    st.assignment <- a;
+    st.nvars <- n
+  end
+
+let add_clause st lits =
+  let arr = Array.of_list lits in
+  Array.iter (fun l -> grow st (Lit.var l)) arr;
+  let live = ref true in
+  st.clauses <- (arr, live) :: st.clauses;
+  (arr, live)
+
+let delete_clause st lits =
+  let target = List.sort Lit.compare lits in
+  let rec find = function
+    | [] -> false
+    | (arr, live) :: rest ->
+        if !live && List.sort Lit.compare (Array.to_list arr) = target then begin
+          live := false;
+          true
+        end
+        else find rest
+  in
+  find st.clauses
+
+let value st l =
+  let a = st.assignment.(Lit.var l) in
+  if Lit.sign l then a else -a
+
+(* Assign the given literals as assumptions and unit-propagate over the live
+   clause set. Returns [true] on conflict. Always undoes its assignments. *)
+let propagates_to_conflict st assumptions =
+  let trail = ref [] in
+  let conflict = ref false in
+  let assign l =
+    match value st l with
+    | 1 -> ()
+    | -1 -> conflict := true
+    | _ ->
+        st.assignment.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+        trail := l :: !trail
+  in
+  List.iter assign assumptions;
+  let progress = ref true in
+  while (not !conflict) && !progress do
+    progress := false;
+    List.iter
+      (fun (arr, live) ->
+        if !live && not !conflict then begin
+          let satisfied = ref false in
+          let unassigned = ref [] in
+          Array.iter
+            (fun l ->
+              match value st l with
+              | 1 -> satisfied := true
+              | 0 -> unassigned := l :: !unassigned
+              | _ -> ())
+            arr;
+          if not !satisfied then
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+                assign l;
+                progress := true
+            | _ :: _ :: _ -> ()
+        end)
+      st.clauses
+  done;
+  List.iter (fun l -> st.assignment.(Lit.var l) <- 0) !trail;
+  !conflict
+
+let rup st lits =
+  (* a tautological "clause" is trivially derivable *)
+  let negated = List.map Lit.negate lits in
+  let tauto =
+    List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+  in
+  tauto || propagates_to_conflict st negated
+
+let load cnf =
+  let st = create (Cnf.num_vars cnf) in
+  Cnf.iter_clauses (fun arr -> ignore (add_clause st (Array.to_list arr))) cnf;
+  st
+
+let is_rup cnf clause = rup (load cnf) clause
+
+let check cnf proof =
+  let st = load cnf in
+  let steps = Proof.steps proof in
+  let rec go i saw_empty = function
+    | [] ->
+        if saw_empty then Ok ()
+        else Error { step_index = i; reason = "trace does not derive the empty clause" }
+    | step :: rest -> (
+        match step with
+        | Proof.Add lits ->
+            if not (rup st lits) then
+              Error { step_index = i; reason = "added clause is not RUP" }
+            else begin
+              ignore (add_clause st lits);
+              if lits = [] then Ok () (* empty clause derived; trace verified *)
+              else go (i + 1) saw_empty rest
+            end
+        | Proof.Delete lits ->
+            if delete_clause st lits then go (i + 1) saw_empty rest
+            else
+              Error
+                { step_index = i; reason = "deletion of a clause not present" })
+  in
+  go 0 false steps

@@ -1,0 +1,25 @@
+(** Forward checker for the solver's refutation traces.
+
+    Verifies that every clause added in a {!Proof.t} is RUP (reverse unit
+    propagation: asserting the clause's negation on the formula accumulated
+    so far propagates to a conflict), that deletions reference clauses
+    present at that point, and that the trace derives the empty clause.
+    CDCL learnt clauses are always RUP, so a trace produced by {!Solver} on
+    an unsatisfiable formula must pass; an independent pass here guards
+    against solver bugs without trusting the solver's own bookkeeping. *)
+
+type error = {
+  step_index : int;  (** Index into the proof's steps. *)
+  reason : string;
+}
+
+val check : Cnf.t -> Proof.t -> (unit, error) result
+(** [check cnf proof] verifies the trace against the original formula.
+    Succeeds only if some addition step is the empty clause and every
+    addition up to and including it is RUP. *)
+
+val is_rup : Cnf.t -> Lit.t list -> bool
+(** [is_rup cnf clause] — is the clause derivable from [cnf] alone by
+    reverse unit propagation? (Convenience for tests.) *)
+
+val pp_error : Format.formatter -> error -> unit

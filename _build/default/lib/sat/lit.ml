@@ -1,0 +1,21 @@
+type t = int
+type var = int
+
+let make v sign = if sign then 2 * v else (2 * v) + 1
+let pos v = 2 * v
+let neg_of v = (2 * v) + 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+
+let to_dimacs l =
+  let d = var l + 1 in
+  if sign l then d else -d
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: 0"
+  else if d > 0 then pos (d - 1)
+  else neg_of (-d - 1)
+
+let compare = Int.compare
+let pp fmt l = Format.pp_print_int fmt (to_dimacs l)

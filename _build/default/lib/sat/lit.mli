@@ -1,0 +1,44 @@
+(** Propositional literals.
+
+    Variables are numbered from [0]. A literal packs a variable and a sign
+    into a single non-negative integer ([2 * var] for the positive literal,
+    [2 * var + 1] for the negative one), the classic MiniSat layout, so that
+    literals can index arrays directly. *)
+
+type t = int
+(** A literal. Use the constructors below; the representation is exposed
+    only so that literals can be stored in unboxed [int array]s. *)
+
+type var = int
+(** A variable index, [>= 0]. *)
+
+val make : var -> bool -> t
+(** [make v sign] is the literal on variable [v]; positive when [sign] is
+    [true]. *)
+
+val pos : var -> t
+(** [pos v] is the positive literal of [v]. *)
+
+val neg_of : var -> t
+(** [neg_of v] is the negative literal of [v]. *)
+
+val var : t -> var
+(** Variable of a literal. *)
+
+val sign : t -> bool
+(** [sign l] is [true] iff [l] is positive. *)
+
+val negate : t -> t
+(** Complementary literal. *)
+
+val to_dimacs : t -> int
+(** DIMACS integer for a literal: [var + 1], negated when the literal is
+    negative. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}. Raises [Invalid_argument] on [0]. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the DIMACS form. *)

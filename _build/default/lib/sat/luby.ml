@@ -1,0 +1,14 @@
+(* Knuth's loop-free formulation: find the subsequence [2^k - 1] containing
+   index [i]; elements are powers of two within it. *)
+let get i =
+  if i < 0 then invalid_arg "Luby.get";
+  let rec outer k sz =
+    if sz < i + 1 then outer (k + 1) ((2 * sz) + 1) else inner k sz i
+  and inner k sz i =
+    if sz - 1 <> i then
+      let sz = (sz - 1) / 2 in
+      let k = k - 1 in
+      inner k sz (i mod sz)
+    else 1 lsl (k - 1)
+  in
+  outer 1 1

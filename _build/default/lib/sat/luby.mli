@@ -1,0 +1,6 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+
+    Used by the CDCL solver's [minisat_like] preset to schedule restarts. *)
+
+val get : int -> int
+(** [get i] is the [i]-th element of the Luby sequence, [i >= 0]. *)

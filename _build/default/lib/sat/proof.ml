@@ -1,0 +1,33 @@
+type step = Add of Lit.t list | Delete of Lit.t list
+type t = { steps : step Vec.t }
+
+let create () = { steps = Vec.create ~dummy:(Add []) () }
+let add t lits = Vec.push t.steps (Add lits)
+let delete t lits = Vec.push t.steps (Delete lits)
+let steps t = Vec.to_list t.steps
+let num_steps t = Vec.size t.steps
+
+let ends_with_empty t =
+  let rec last_add i =
+    if i < 0 then None
+    else
+      match Vec.get t.steps i with
+      | Add lits -> Some lits
+      | Delete _ -> last_add (i - 1)
+  in
+  match last_add (Vec.size t.steps - 1) with
+  | Some [] -> true
+  | Some _ | None -> false
+
+let output oc t =
+  let put_lits lits =
+    List.iter (fun l -> Printf.fprintf oc "%d " (Lit.to_dimacs l)) lits;
+    output_string oc "0\n"
+  in
+  Vec.iter
+    (function
+      | Add lits -> put_lits lits
+      | Delete lits ->
+          output_string oc "d ";
+          put_lits lits)
+    t.steps

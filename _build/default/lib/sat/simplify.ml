@@ -1,0 +1,259 @@
+type stats = {
+  units : int;
+  pures : int;
+  duplicates : int;
+  subsumed : int;
+  strengthened : int;
+  rounds : int;
+}
+
+type result = {
+  cnf : Cnf.t;
+  forced : (Lit.var * bool) list;
+  unsat : bool;
+  stats : stats;
+}
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "units=%d pures=%d duplicates=%d subsumed=%d strengthened=%d rounds=%d"
+    s.units s.pures s.duplicates s.subsumed s.strengthened s.rounds
+
+(* Working representation: sorted literal lists, with an assignment map for
+   forced literals. All transformations preserve satisfiability and, thanks
+   to [forced], model-extendability. *)
+
+exception Unsat_found
+
+type work = {
+  mutable clauses : Lit.t list list;
+  assignment : (Lit.var, bool) Hashtbl.t;
+  mutable units : int;
+  mutable pures : int;
+  mutable duplicates : int;
+  mutable subsumed : int;
+  mutable strengthened : int;
+}
+
+let lit_value w l =
+  match Hashtbl.find_opt w.assignment (Lit.var l) with
+  | None -> 0
+  | Some b -> if b = Lit.sign l then 1 else -1
+
+let assign w l =
+  match lit_value w l with
+  | 1 -> ()
+  | -1 -> raise Unsat_found
+  | _ -> Hashtbl.replace w.assignment (Lit.var l) (Lit.sign l)
+
+(* remove satisfied clauses, drop false literals, queue fresh units *)
+let propagate_round w =
+  let changed = ref false in
+  let keep = ref [] in
+  List.iter
+    (fun clause ->
+      if List.exists (fun l -> lit_value w l = 1) clause then changed := true
+      else
+        let remaining = List.filter (fun l -> lit_value w l = 0) clause in
+        if List.length remaining < List.length clause then changed := true;
+        match remaining with
+        | [] -> raise Unsat_found
+        | [ l ] ->
+            assign w l;
+            w.units <- w.units + 1;
+            changed := true
+        | _ -> keep := remaining :: !keep)
+    w.clauses;
+  w.clauses <- List.rev !keep;
+  !changed
+
+let pure_literal_round w =
+  let polarity = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun l ->
+         let v = Lit.var l in
+         let seen = Option.value (Hashtbl.find_opt polarity v) ~default:(false, false) in
+         let pos, neg = seen in
+         Hashtbl.replace polarity v
+           (if Lit.sign l then (true, neg) else (pos, true))))
+    w.clauses;
+  let changed = ref false in
+  Hashtbl.iter
+    (fun v (pos, neg) ->
+      if pos <> neg && not (Hashtbl.mem w.assignment v) then begin
+        assign w (Lit.make v pos);
+        w.pures <- w.pures + 1;
+        changed := true
+      end)
+    polarity;
+  !changed
+
+let dedupe_round w =
+  let seen = Hashtbl.create 256 in
+  let keep = ref [] in
+  List.iter
+    (fun clause ->
+      let key = List.sort Lit.compare clause in
+      if Hashtbl.mem seen key then w.duplicates <- w.duplicates + 1
+      else begin
+        Hashtbl.add seen key ();
+        keep := key :: !keep
+      end)
+    w.clauses;
+  w.clauses <- List.rev !keep
+
+let subset a b = List.for_all (fun l -> List.mem l b) a
+
+(* subsumption + one pass of self-subsumption, quadratic with an occurrence
+   index on the rarest literal to keep it tolerable *)
+let subsumption_round w =
+  let arr = Array.of_list w.clauses in
+  let n = Array.length arr in
+  let live = Array.make n true in
+  let occ = Hashtbl.create 256 in
+  Array.iteri
+    (fun i clause ->
+      List.iter
+        (fun l ->
+          Hashtbl.replace occ l (i :: Option.value (Hashtbl.find_opt occ l) ~default:[]))
+        clause)
+    arr;
+  let occurrences l = Option.value (Hashtbl.find_opt occ l) ~default:[] in
+  let rarest clause =
+    List.fold_left
+      (fun best l ->
+        match best with
+        | None -> Some l
+        | Some b ->
+            if List.length (occurrences l) < List.length (occurrences b) then Some l
+            else best)
+      None clause
+  in
+  let changed = ref false in
+  (* subsumption: clause i kills every superset j *)
+  Array.iteri
+    (fun i clause ->
+      if live.(i) then
+        match rarest clause with
+        | None -> ()
+        | Some l ->
+            List.iter
+              (fun j ->
+                if j <> i && live.(j)
+                   && List.length arr.(j) >= List.length clause
+                   && subset clause arr.(j)
+                then begin
+                  live.(j) <- false;
+                  w.subsumed <- w.subsumed + 1;
+                  changed := true
+                end)
+              (occurrences l))
+    arr;
+  (* self-subsumption: if (C \ {l}) ⊆ D and ¬l ∈ D, drop ¬l from D *)
+  Array.iteri
+    (fun i clause ->
+      if live.(i) then
+        List.iter
+          (fun l ->
+            let rest = List.filter (fun x -> x <> l) clause in
+            List.iter
+              (fun j ->
+                if j <> i && live.(j) && subset rest arr.(j)
+                   && List.mem (Lit.negate l) arr.(j)
+                then begin
+                  arr.(j) <- List.filter (fun x -> x <> Lit.negate l) arr.(j);
+                  w.strengthened <- w.strengthened + 1;
+                  changed := true
+                end)
+              (occurrences (Lit.negate l)))
+          clause)
+    arr;
+  let keep = ref [] in
+  Array.iteri (fun i c -> if live.(i) then keep := c :: !keep) arr;
+  w.clauses <- List.rev !keep;
+  !changed
+
+(* Apply the accumulated assignment without creating new forced literals:
+   needed when [max_rounds] stops the loop between an assignment and its
+   propagation, so the output never mentions an assigned variable (otherwise
+   extending a model with the forced values could break clauses the solver
+   satisfied through the stale literal). *)
+let final_cleanup w =
+  let keep = ref [] in
+  List.iter
+    (fun clause ->
+      if not (List.exists (fun l -> lit_value w l = 1) clause) then
+        match List.filter (fun l -> lit_value w l = 0) clause with
+        | [] -> raise Unsat_found
+        | remaining -> keep := remaining :: !keep)
+    w.clauses;
+  w.clauses <- List.rev !keep
+
+let simplify ?(max_rounds = 10) cnf =
+  let w =
+    {
+      clauses = List.map Array.to_list (Cnf.clauses cnf);
+      assignment = Hashtbl.create 64;
+      units = 0;
+      pures = 0;
+      duplicates = 0;
+      subsumed = 0;
+      strengthened = 0;
+    }
+  in
+  let rounds = ref 0 in
+  let unsat =
+    try
+      let continue = ref true in
+      while !continue && !rounds < max_rounds do
+        incr rounds;
+        let c1 = propagate_round w in
+        dedupe_round w;
+        let c2 = subsumption_round w in
+        let c3 = pure_literal_round w in
+        (* pure assignments can satisfy clauses; one more propagation pass
+           cleans them up on the next round *)
+        continue := c1 || c2 || c3
+      done;
+      final_cleanup w;
+      false
+    with Unsat_found -> true
+  in
+  let out = Cnf.create () in
+  Cnf.ensure_vars out (Cnf.num_vars cnf);
+  if not unsat then List.iter (Cnf.add_clause out) w.clauses;
+  let forced = Hashtbl.fold (fun v b acc -> (v, b) :: acc) w.assignment [] in
+  {
+    cnf = out;
+    forced = List.sort compare forced;
+    unsat;
+    stats =
+      {
+        units = w.units;
+        pures = w.pures;
+        duplicates = w.duplicates;
+        subsumed = w.subsumed;
+        strengthened = w.strengthened;
+        rounds = !rounds;
+      };
+  }
+
+let extend_model r model =
+  let n = Cnf.num_vars r.cnf in
+  let out = Array.make n false in
+  Array.iteri (fun v b -> if v < n then out.(v) <- b) model;
+  List.iter (fun (v, b) -> if v < n then out.(v) <- b) r.forced;
+  out
+
+let solve ?config ?budget cnf =
+  let r = simplify cnf in
+  if r.unsat then (Solver.Unsat, r.stats, Stats.create ())
+  else
+    let result, solver_stats = Solver.solve ?config ?budget r.cnf in
+    let result =
+      match result with
+      | Solver.Sat model -> Solver.Sat (extend_model r model)
+      | Solver.Unsat -> Solver.Unsat
+      | Solver.Unknown -> Solver.Unknown
+    in
+    (result, r.stats, solver_stats)

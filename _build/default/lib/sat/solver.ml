@@ -1,0 +1,576 @@
+type restart_scheme = Luby_restarts of int | Geometric of int * float
+
+type config = {
+  var_decay : float;
+  clause_decay : float;
+  restart : restart_scheme;
+  random_var_freq : float;
+  phase_saving : bool;
+  seed : int;
+}
+
+let minisat_like =
+  {
+    var_decay = 0.95;
+    clause_decay = 0.999;
+    restart = Luby_restarts 100;
+    random_var_freq = 0.0;
+    phase_saving = true;
+    seed = 91648253;
+  }
+
+let siege_like =
+  {
+    var_decay = 0.85;
+    clause_decay = 0.999;
+    restart = Geometric (100, 1.3);
+    random_var_freq = 0.01;
+    phase_saving = true;
+    seed = 2007;
+  }
+
+let default = minisat_like
+
+type budget = {
+  max_conflicts : int option;
+  max_seconds : float option;
+  interrupt : (unit -> bool) option;
+}
+
+let no_budget = { max_conflicts = None; max_seconds = None; interrupt = None }
+let conflict_budget n = { no_budget with max_conflicts = Some n }
+let time_budget s = { no_budget with max_seconds = Some s }
+let interruptible f budget = { budget with interrupt = Some f }
+
+type result = Sat of bool array | Unsat | Unknown
+
+(* Deterministic xorshift64 RNG so runs are reproducible across machines. *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int (if seed = 0 then 88172645463325252 else seed) }
+
+  let next t =
+    let x = t.state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    t.state <- x;
+    x
+
+  let float t =
+    let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+    float_of_int bits /. float_of_int (1 lsl 53)
+
+  let int t bound = int_of_float (float t *. float_of_int bound)
+end
+
+type state = {
+  cfg : config;
+  nvars : int;
+  (* clause database *)
+  clauses : Clause.t Vec.t;
+  learnts : Clause.t Vec.t;
+  watches : Clause.t Vec.t array; (* indexed by literal *)
+  (* assignment *)
+  assigns : int array; (* -1 false, 0 undef, 1 true; indexed by var *)
+  level : int array;
+  reason : Clause.t option array;
+  trail : Lit.t Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* heuristics *)
+  activity : float array;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  order : Heap.t;
+  phase : bool array;
+  seen : bool array;
+  rng : Rng.t;
+  stats : Stats.t;
+  proof : Proof.t option;
+  mutable ok : bool; (* false once level-0 conflict is established *)
+}
+
+let value_var st v = st.assigns.(v)
+
+let value_lit st l =
+  let a = st.assigns.(Lit.var l) in
+  if Lit.sign l then a else -a
+
+let decision_level st = Vec.size st.trail_lim
+
+let create cfg nvars proof =
+  let dummy_clause = Clause.make [||] in
+  let activity = Array.make (max nvars 1) 0. in
+  {
+    cfg;
+    nvars;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    watches = Array.init (max (2 * nvars) 1) (fun _ -> Vec.create ~dummy:dummy_clause ());
+    assigns = Array.make (max nvars 1) 0;
+    level = Array.make (max nvars 1) 0;
+    reason = Array.make (max nvars 1) None;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    activity;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    order = Heap.create ~scores:activity;
+    phase = Array.make (max nvars 1) false;
+    seen = Array.make (max nvars 1) false;
+    rng = Rng.create cfg.seed;
+    stats = Stats.create ();
+    proof;
+    ok = true;
+  }
+
+let var_rescale st =
+  for v = 0 to st.nvars - 1 do
+    st.activity.(v) <- st.activity.(v) *. 1e-100
+  done;
+  st.var_inc <- st.var_inc *. 1e-100
+
+let var_bump st v =
+  st.activity.(v) <- st.activity.(v) +. st.var_inc;
+  if st.activity.(v) > 1e100 then var_rescale st;
+  Heap.rescore st.order v
+
+let var_decay_tick st = st.var_inc <- st.var_inc /. st.cfg.var_decay
+
+let cla_bump st (c : Clause.t) =
+  c.Clause.activity <- c.Clause.activity +. st.cla_inc;
+  if c.Clause.activity > 1e20 then begin
+    Vec.iter (fun (d : Clause.t) -> d.Clause.activity <- d.Clause.activity *. 1e-20) st.learnts;
+    st.cla_inc <- st.cla_inc *. 1e-20
+  end
+
+let cla_decay_tick st = st.cla_inc <- st.cla_inc /. st.cfg.clause_decay
+
+let enqueue st l reason =
+  let v = Lit.var l in
+  assert (st.assigns.(v) = 0);
+  st.assigns.(v) <- (if Lit.sign l then 1 else -1);
+  st.level.(v) <- decision_level st;
+  st.reason.(v) <- reason;
+  Vec.push st.trail l;
+  st.stats.Stats.propagations <- st.stats.Stats.propagations + 1
+
+let attach_clause st (c : Clause.t) =
+  assert (Clause.size c >= 2);
+  Vec.push st.watches.(Lit.negate (Clause.get c 0)) c;
+  Vec.push st.watches.(Lit.negate (Clause.get c 1)) c
+
+(* Propagate all enqueued facts; returns the conflicting clause, if any. *)
+let propagate st =
+  let conflict = ref None in
+  while !conflict = None && st.qhead < Vec.size st.trail do
+    let p = Vec.get st.trail st.qhead in
+    st.qhead <- st.qhead + 1;
+    let ws = st.watches.(p) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if c.Clause.deleted then () (* lazily dropped from the watch list *)
+      else begin
+        let false_lit = Lit.negate p in
+        if Clause.get c 0 = false_lit then Clause.swap c 0 1;
+        let first = Clause.get c 0 in
+        if value_lit st first = 1 then begin
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* find a replacement watch among c[2..] *)
+          let rec find k =
+            if k >= Clause.size c then -1
+            else if value_lit st (Clause.get c k) <> -1 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            Clause.swap c 1 k;
+            Vec.push st.watches.(Lit.negate (Clause.get c 1)) c
+          end
+          else begin
+            (* clause is unit or conflicting *)
+            Vec.set ws !j c;
+            incr j;
+            if value_lit st first = -1 then begin
+              conflict := Some c;
+              st.qhead <- Vec.size st.trail;
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done
+            end
+            else enqueue st first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+let cancel_until st lvl =
+  if decision_level st > lvl then begin
+    let bound = Vec.get st.trail_lim lvl in
+    let rec pop () =
+      if Vec.size st.trail > bound then begin
+        let l = Vec.pop st.trail in
+        let v = Lit.var l in
+        if st.cfg.phase_saving then st.phase.(v) <- Lit.sign l;
+        st.assigns.(v) <- 0;
+        st.reason.(v) <- None;
+        if not (Heap.in_heap st.order v) then Heap.insert st.order v;
+        pop ()
+      end
+    in
+    pop ();
+    st.qhead <- Vec.size st.trail;
+    Vec.shrink st.trail_lim lvl
+  end
+
+(* First-UIP conflict analysis with basic (non-recursive) minimisation.
+   Returns the learnt clause (asserting literal first, a literal of the
+   second-highest level at index 1), the backtrack level and the LBD. *)
+let analyze st confl =
+  let learnt = ref [] in
+  let to_clear = ref [] in
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.size st.trail - 1) in
+  let confl = ref (Some confl) in
+  let continue = ref true in
+  while !continue do
+    let c =
+      match !confl with Some c -> c | None -> assert false
+    in
+    if c.Clause.learnt then cla_bump st c;
+    let start = if !p = -1 then 0 else 1 in
+    for jj = start to Clause.size c - 1 do
+      let q = Clause.get c jj in
+      let v = Lit.var q in
+      if (not st.seen.(v)) && st.level.(v) > 0 then begin
+        var_bump st v;
+        st.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        if st.level.(v) >= decision_level st then incr path_c
+        else learnt := q :: !learnt
+      end
+    done;
+    (* select the next trail literal to resolve on *)
+    while not st.seen.(Lit.var (Vec.get st.trail !index)) do
+      decr index
+    done;
+    p := Vec.get st.trail !index;
+    decr index;
+    confl := st.reason.(Lit.var !p);
+    st.seen.(Lit.var !p) <- false;
+    decr path_c;
+    if !path_c = 0 then continue := false
+  done;
+  let uip = Lit.negate !p in
+  (* basic minimisation: drop literals implied by the rest of the clause *)
+  let keep q =
+    let v = Lit.var q in
+    match st.reason.(v) with
+    | None -> true
+    | Some r ->
+        let rec any k =
+          k < Clause.size r
+          &&
+          let w = Lit.var (Clause.get r k) in
+          ((not st.seen.(w)) && st.level.(w) > 0) || any (k + 1)
+        in
+        any 1
+  in
+  let minimised = List.filter keep !learnt in
+  List.iter (fun v -> st.seen.(v) <- false) !to_clear;
+  let lits = uip :: minimised in
+  st.stats.Stats.learnt_literals <-
+    st.stats.Stats.learnt_literals + List.length lits;
+  (* compute backtrack level and move a max-level literal to index 1 *)
+  match lits with
+  | [ _ ] -> (Array.of_list lits, 0, 1)
+  | first :: rest ->
+      let arr = Array.of_list (first :: rest) in
+      let max_i = ref 1 in
+      for k = 2 to Array.length arr - 1 do
+        if st.level.(Lit.var arr.(k)) > st.level.(Lit.var arr.(!max_i)) then
+          max_i := k
+      done;
+      let tmp = arr.(1) in
+      arr.(1) <- arr.(!max_i);
+      arr.(!max_i) <- tmp;
+      let blevel = st.level.(Lit.var arr.(1)) in
+      (* LBD: distinct decision levels in the clause *)
+      let module IS = Set.Make (Int) in
+      let lbd =
+        Array.fold_left
+          (fun acc l -> IS.add st.level.(Lit.var l) acc)
+          IS.empty arr
+        |> IS.cardinal
+      in
+      (arr, blevel, lbd)
+  | [] -> assert false
+
+let locked st (c : Clause.t) =
+  Clause.size c > 0
+  &&
+  let v = Lit.var (Clause.get c 0) in
+  match st.reason.(v) with Some r -> r == c | None -> false
+
+let record_proof_add st lits =
+  match st.proof with Some p -> Proof.add p lits | None -> ()
+
+let record_proof_delete st (c : Clause.t) =
+  match st.proof with Some p -> Proof.delete p (Clause.to_list c) | None -> ()
+
+let reduce_db st =
+  (* Sort learnts: prefer deleting low-activity, high-LBD clauses. *)
+  let arr = Array.init (Vec.size st.learnts) (Vec.get st.learnts) in
+  Array.sort
+    (fun (a : Clause.t) (b : Clause.t) ->
+      compare (a.Clause.activity, -a.Clause.lbd) (b.Clause.activity, -b.Clause.lbd))
+    arr;
+  let n = Array.length arr in
+  let limit = n / 2 in
+  let deleted = ref 0 in
+  Array.iteri
+    (fun idx (c : Clause.t) ->
+      if idx < limit && Clause.size c > 2 && (not (locked st c)) && c.Clause.lbd > 2
+      then begin
+        c.Clause.deleted <- true;
+        record_proof_delete st c;
+        incr deleted
+      end)
+    arr;
+  Vec.filter_in_place (fun (c : Clause.t) -> not c.Clause.deleted) st.learnts;
+  st.stats.Stats.deleted_clauses <- st.stats.Stats.deleted_clauses + !deleted
+
+let pick_branch_var st =
+  let random_pick () =
+    if st.cfg.random_var_freq > 0.
+       && Rng.float st.rng < st.cfg.random_var_freq
+       && st.nvars > 0
+    then
+      let v = Rng.int st.rng st.nvars in
+      if value_var st v = 0 then Some v else None
+    else None
+  in
+  match random_pick () with
+  | Some v -> Some v
+  | None ->
+      let rec next () =
+        if Heap.is_empty st.order then None
+        else
+          let v = Heap.remove_max st.order in
+          if value_var st v = 0 then Some v else next ()
+      in
+      next ()
+
+let restart_limit st k =
+  match st.cfg.restart with
+  | Luby_restarts base -> base * Luby.get k
+  | Geometric (first, inc) ->
+      int_of_float (float_of_int first *. (inc ** float_of_int k))
+
+let extract_model st =
+  Array.init st.nvars (fun v -> st.assigns.(v) > 0)
+
+exception Found_unsat
+exception Assumption_failed
+exception Out_of_budget
+
+(* Load the problem clauses into a fresh state; level-0 units go straight
+   onto the trail, and [st.ok] turns false on an immediate conflict. *)
+let load_clauses st cnf =
+  let add_problem_clause lits =
+    if st.ok then begin
+      (* drop literals already false at level 0; satisfied clauses skipped *)
+      let lits = Array.to_list lits in
+      let satisfied = List.exists (fun l -> value_lit st l = 1) lits in
+      if not satisfied then
+        match List.filter (fun l -> value_lit st l <> -1) lits with
+        | [] ->
+            record_proof_add st [];
+            st.ok <- false
+        | [ l ] ->
+            enqueue st l None;
+            (match propagate st with
+            | Some _ ->
+                record_proof_add st [];
+                st.ok <- false
+            | None -> ())
+        | lits ->
+            let c = Clause.make (Array.of_list lits) in
+            Vec.push st.clauses c;
+            attach_clause st c
+    end
+  in
+  Cnf.iter_clauses add_problem_clause cnf;
+  for v = 0 to st.nvars - 1 do
+    if value_var st v = 0 then Heap.insert st.order v
+  done
+
+type solver = {
+  st : state;
+  mutable max_learnts : int;
+  mutable restart_count : int;
+}
+
+type query_result =
+  | Q_sat of bool array
+  | Q_unsat
+  | Q_unknown
+
+let create ?(config = default) ?proof cnf =
+  let st = create config (Cnf.num_vars cnf) proof in
+  load_clauses st cnf;
+  { st; max_learnts = max 1000 (Vec.size st.clauses / 3); restart_count = 0 }
+
+let solver_stats s = s.st.stats
+
+(* One search episode under the given assumption literals. The trail is
+   reset to level 0 first; learnt clauses and activities persist across
+   calls. *)
+let run_search s budget assumptions =
+  let st = s.st in
+  let assumptions = Array.of_list assumptions in
+  Array.iter
+    (fun l ->
+      if Lit.var l < 0 || Lit.var l >= st.nvars then
+        invalid_arg "Solver.solve_with: assumption variable out of range")
+    assumptions;
+  cancel_until st 0;
+  let start_time = Sys.time () in
+  let start_conflicts = st.stats.Stats.conflicts in
+  let conflicts_at_restart = ref 0 in
+  let over_budget () =
+    (match budget.max_conflicts with
+    | Some m when st.stats.Stats.conflicts - start_conflicts >= m -> true
+    | Some _ | None -> false)
+    || (match budget.max_seconds with
+       | Some sec when st.stats.Stats.conflicts land 255 = 0 ->
+           Sys.time () -. start_time > sec
+       | Some _ | None -> false)
+    || match budget.interrupt with
+       | Some f when st.stats.Stats.conflicts land 255 = 0 -> f ()
+       | Some _ | None -> false
+  in
+  let result = ref Q_unknown in
+  (try
+     if not st.ok then raise Found_unsat;
+     (match propagate st with
+     | Some _ ->
+         record_proof_add st [];
+         raise Found_unsat
+     | None -> ());
+     let finished = ref false in
+     while not !finished do
+       match propagate st with
+       | Some confl ->
+           st.stats.Stats.conflicts <- st.stats.Stats.conflicts + 1;
+           incr conflicts_at_restart;
+           if decision_level st = 0 then begin
+             record_proof_add st [];
+             raise Found_unsat
+           end;
+           let learnt, blevel, lbd = analyze st confl in
+           record_proof_add st (Array.to_list learnt);
+           cancel_until st blevel;
+           (if Array.length learnt = 1 then enqueue st learnt.(0) None
+            else begin
+              let c = Clause.make ~learnt:true learnt in
+              c.Clause.lbd <- lbd;
+              Vec.push st.learnts c;
+              attach_clause st c;
+              cla_bump st c;
+              enqueue st learnt.(0) (Some c)
+            end);
+           st.stats.Stats.learnt_clauses <- st.stats.Stats.learnt_clauses + 1;
+           var_decay_tick st;
+           cla_decay_tick st;
+           if over_budget () then raise Out_of_budget
+       | None ->
+           if !conflicts_at_restart >= restart_limit st s.restart_count then begin
+             s.restart_count <- s.restart_count + 1;
+             conflicts_at_restart := 0;
+             st.stats.Stats.restarts <- st.stats.Stats.restarts + 1;
+             cancel_until st 0
+           end
+           else begin
+             if Vec.size st.learnts >= s.max_learnts then begin
+               reduce_db st;
+               s.max_learnts <- int_of_float (float_of_int s.max_learnts *. 1.1)
+             end;
+             (* establish pending assumptions before free decisions *)
+             let dl = decision_level st in
+             if dl < Array.length assumptions then begin
+               let l = assumptions.(dl) in
+               match value_lit st l with
+               | -1 -> raise Assumption_failed
+               | 1 ->
+                   (* already implied: open an empty decision level *)
+                   Vec.push st.trail_lim (Vec.size st.trail)
+               | _ ->
+                   st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
+                   Vec.push st.trail_lim (Vec.size st.trail);
+                   enqueue st l None
+             end
+             else
+               match pick_branch_var st with
+               | None ->
+                   result := Q_sat (extract_model st);
+                   finished := true
+               | Some v ->
+                   st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
+                   Vec.push st.trail_lim (Vec.size st.trail);
+                   if decision_level st > st.stats.Stats.max_decision_level then
+                     st.stats.Stats.max_decision_level <- decision_level st;
+                   enqueue st (Lit.make v st.phase.(v)) None
+           end
+     done
+   with
+  | Found_unsat ->
+      st.ok <- false;
+      result := Q_unsat
+  | Assumption_failed -> result := Q_unsat
+  | Out_of_budget -> result := Q_unknown);
+  cancel_until st 0;
+  !result
+
+let solve_with ?(budget = no_budget) ?(assumptions = []) s =
+  run_search s budget assumptions
+
+let solve ?(config = default) ?(budget = no_budget) ?proof cnf =
+  let s = create ~config ?proof cnf in
+  let result =
+    match run_search s budget [] with
+    | Q_sat model -> Sat model
+    | Q_unsat -> Unsat
+    | Q_unknown -> Unknown
+  in
+  (result, s.st.stats)
+
+let check_model cnf model =
+  let ok = ref true in
+  Cnf.iter_clauses
+    (fun lits ->
+      let sat =
+        Array.exists
+          (fun l ->
+            let v = Lit.var l in
+            v < Array.length model && model.(v) = Lit.sign l)
+          lits
+      in
+      if not sat then ok := false)
+    cnf;
+  !ok

@@ -1,0 +1,86 @@
+(** A CDCL SAT solver.
+
+    MiniSat-class architecture: two watched literals per clause, EVSIDS
+    variable activities with a heap-ordered decision queue, first-UIP conflict
+    analysis with basic clause minimisation, phase saving, scheduled restarts
+    and activity-driven learnt-clause database reduction.
+
+    Two tuning presets mirror the two solvers used in the paper (siege_v4 and
+    MiniSat): {!siege_like} restarts aggressively with a faster activity
+    decay, {!minisat_like} uses Luby restarts with the classic decay. Both are
+    deterministic for a fixed configuration seed. *)
+
+type restart_scheme =
+  | Luby_restarts of int  (** Luby sequence scaled by the given base. *)
+  | Geometric of int * float  (** First interval and multiplier. *)
+
+type config = {
+  var_decay : float;  (** VSIDS decay, in (0,1). *)
+  clause_decay : float;  (** Learnt-clause activity decay, in (0,1). *)
+  restart : restart_scheme;
+  random_var_freq : float;  (** Probability of a random decision variable. *)
+  phase_saving : bool;
+  seed : int;  (** Seed for the internal deterministic RNG. *)
+}
+
+val minisat_like : config
+val siege_like : config
+val default : config
+(** Same as {!minisat_like}. *)
+
+type budget = {
+  max_conflicts : int option;
+  max_seconds : float option;
+  interrupt : (unit -> bool) option;
+      (** Polled periodically; returning [true] aborts the search with
+          [Unknown]. Used by portfolios to cancel losing runs. *)
+}
+
+val no_budget : budget
+val conflict_budget : int -> budget
+val time_budget : float -> budget
+val interruptible : (unit -> bool) -> budget -> budget
+(** Adds an interrupt hook to an existing budget. *)
+
+type result =
+  | Sat of bool array
+      (** A satisfying assignment, indexed by variable; total over all
+          allocated variables. *)
+  | Unsat
+  | Unknown  (** Budget exhausted. *)
+
+val solve :
+  ?config:config -> ?budget:budget -> ?proof:Proof.t -> Cnf.t -> result * Stats.t
+(** Solves the formula. When [proof] is supplied and the answer is [Unsat],
+    the recorded trace ends with the empty clause (see {!Proof}). The input
+    formula is not modified. *)
+
+(** {1 Incremental interface}
+
+    A persistent solver keeps its learnt clauses and activities across
+    queries, and each query may fix {e assumption} literals — the MiniSat
+    idiom. The minimal-width search uses this to encode a colouring problem
+    once and disable colours through selector assumptions, reusing conflict
+    clauses across widths. *)
+
+type solver
+
+val create : ?config:config -> ?proof:Proof.t -> Cnf.t -> solver
+
+type query_result =
+  | Q_sat of bool array
+  | Q_unsat  (** Unsatisfiable together with the given assumptions. *)
+  | Q_unknown
+
+val solve_with :
+  ?budget:budget -> ?assumptions:Lit.t list -> solver -> query_result
+(** [Q_unsat] means the formula plus the assumptions is unsatisfiable; the
+    formula alone may still be satisfiable with other assumptions. The
+    budget applies per call. *)
+
+val solver_stats : solver -> Stats.t
+(** Cumulative over all queries. *)
+
+val check_model : Cnf.t -> bool array -> bool
+(** [check_model cnf m] verifies that [m] satisfies every clause of [cnf];
+    independent of the solver, used as a safety net by callers and tests. *)

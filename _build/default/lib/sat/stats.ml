@@ -1,0 +1,29 @@
+type t = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable learnt_literals : int;
+  mutable deleted_clauses : int;
+  mutable max_decision_level : int;
+}
+
+let create () =
+  {
+    decisions = 0;
+    propagations = 0;
+    conflicts = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    learnt_literals = 0;
+    deleted_clauses = 0;
+    max_decision_level = 0;
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d \
+     deleted=%d max_level=%d"
+    s.decisions s.propagations s.conflicts s.restarts s.learnt_clauses
+    s.deleted_clauses s.max_decision_level

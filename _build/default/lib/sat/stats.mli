@@ -1,0 +1,15 @@
+(** Search statistics reported by the solvers. *)
+
+type t = {
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflicts : int;
+  mutable restarts : int;
+  mutable learnt_clauses : int;
+  mutable learnt_literals : int;
+  mutable deleted_clauses : int;
+  mutable max_decision_level : int;
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

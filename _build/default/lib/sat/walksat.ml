@@ -1,0 +1,163 @@
+type params = { max_tries : int; max_flips : int; noise : float; seed : int }
+
+let default_params =
+  { max_tries = 20; max_flips = 200_000; noise = 0.5; seed = 1992 }
+
+type result = Sat of bool array | Unknown
+
+(* xorshift64, as in Solver, so results are machine-independent *)
+module Rng = struct
+  type t = { mutable state : int64 }
+
+  let create seed =
+    { state = Int64.of_int (if seed = 0 then 424242 else seed) }
+
+  let next t =
+    let x = t.state in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    t.state <- x;
+    x
+
+  let float t =
+    let bits = Int64.to_int (Int64.shift_right_logical (next t) 11) in
+    float_of_int bits /. float_of_int (1 lsl 53)
+
+  let int t bound =
+    let v = int_of_float (float t *. float_of_int bound) in
+    if v >= bound then bound - 1 else v
+end
+
+type state = {
+  nvars : int;
+  clauses : Lit.t array array;
+  occ : int list array; (* literal -> clause indices containing it *)
+  model : bool array;
+  sat_count : int array; (* satisfied literals per clause *)
+  unsat : int Vec.t; (* indices of unsatisfied clauses *)
+  unsat_pos : int array; (* clause -> position in [unsat], or -1 *)
+  rng : Rng.t;
+}
+
+let lit_true st l = st.model.(Lit.var l) = Lit.sign l
+
+let unsat_add st c =
+  if st.unsat_pos.(c) < 0 then begin
+    st.unsat_pos.(c) <- Vec.size st.unsat;
+    Vec.push st.unsat c
+  end
+
+let unsat_remove st c =
+  let pos = st.unsat_pos.(c) in
+  if pos >= 0 then begin
+    let last = Vec.last st.unsat in
+    Vec.set st.unsat pos last;
+    st.unsat_pos.(last) <- pos;
+    ignore (Vec.pop st.unsat);
+    st.unsat_pos.(c) <- -1
+  end
+
+let recompute st =
+  Vec.clear st.unsat;
+  Array.fill st.unsat_pos 0 (Array.length st.unsat_pos) (-1);
+  Array.iteri
+    (fun c lits ->
+      let n = Array.fold_left (fun acc l -> if lit_true st l then acc + 1 else acc) 0 lits in
+      st.sat_count.(c) <- n;
+      if n = 0 then unsat_add st c)
+    st.clauses
+
+let flip st v =
+  let was = st.model.(v) in
+  let true_lit = Lit.make v was in
+  let false_lit = Lit.negate true_lit in
+  st.model.(v) <- not was;
+  (* clauses that contained the formerly true literal lose one *)
+  List.iter
+    (fun c ->
+      st.sat_count.(c) <- st.sat_count.(c) - 1;
+      if st.sat_count.(c) = 0 then unsat_add st c)
+    st.occ.(true_lit);
+  (* clauses that contain the newly true literal gain one *)
+  List.iter
+    (fun c ->
+      st.sat_count.(c) <- st.sat_count.(c) + 1;
+      if st.sat_count.(c) = 1 then unsat_remove st c)
+    st.occ.(false_lit)
+
+let break_count st v =
+  (* clauses that would become unsatisfied: those where the currently true
+     literal of v is the only satisfied literal *)
+  let true_lit = Lit.make v st.model.(v) in
+  List.fold_left
+    (fun acc c -> if st.sat_count.(c) = 1 then acc + 1 else acc)
+    0 st.occ.(true_lit)
+
+let solve ?(params = default_params) cnf =
+  let nvars = Cnf.num_vars cnf in
+  let clauses = Array.of_list (Cnf.clauses cnf) in
+  if Array.exists (fun c -> Array.length c = 0) clauses then (Unknown, 0)
+  else begin
+    let nclauses = Array.length clauses in
+    let occ = Array.make (max (2 * nvars) 1) [] in
+    Array.iteri
+      (fun c lits -> Array.iter (fun l -> occ.(l) <- c :: occ.(l)) lits)
+      clauses;
+    let st =
+      {
+        nvars;
+        clauses;
+        occ;
+        model = Array.make (max nvars 1) false;
+        sat_count = Array.make (max nclauses 1) 0;
+        unsat = Vec.create ~dummy:(-1) ();
+        unsat_pos = Array.make (max nclauses 1) (-1);
+        rng = Rng.create params.seed;
+      }
+    in
+    let flips = ref 0 in
+    let rec tries t =
+      if t >= params.max_tries then Unknown
+      else begin
+        for v = 0 to nvars - 1 do
+          st.model.(v) <- Rng.int st.rng 2 = 1
+        done;
+        recompute st;
+        let rec walk f =
+          if Vec.is_empty st.unsat then Sat (Array.copy st.model)
+          else if f >= params.max_flips then Unknown
+          else begin
+            incr flips;
+            let c = Vec.get st.unsat (Rng.int st.rng (Vec.size st.unsat)) in
+            let lits = st.clauses.(c) in
+            let v =
+              if Rng.float st.rng < params.noise then
+                Lit.var lits.(Rng.int st.rng (Array.length lits))
+              else begin
+                (* greedy: the variable with the fewest broken clauses *)
+                let best = ref (Lit.var lits.(0)) in
+                let best_break = ref max_int in
+                Array.iter
+                  (fun l ->
+                    let b = break_count st (Lit.var l) in
+                    if b < !best_break then begin
+                      best_break := b;
+                      best := Lit.var l
+                    end)
+                  lits;
+                !best
+              end
+            in
+            flip st v;
+            walk (f + 1)
+          end
+        in
+        match walk 0 with
+        | Sat m -> Sat m
+        | Unknown -> tries (t + 1)
+      end
+    in
+    let result = if nclauses = 0 then Sat (Array.make nvars false) else tries 0 in
+    (result, !flips)
+  end

@@ -1,0 +1,25 @@
+(** WalkSAT local search.
+
+    The muldirect encoding the paper inherits was introduced for exactly
+    this kind of solver (Selman et al., GSAT/WalkSAT), and local search on
+    SAT-encoded colouring problems is a recurring theme in the literature
+    the paper builds on. This is the classic WalkSAT/SKC variant: pick a
+    random unsatisfied clause; with probability [noise] flip a random
+    variable of it, otherwise flip the variable with the lowest break
+    count. Incomplete — it can find models, never refute. Deterministic for
+    a fixed seed. *)
+
+type params = {
+  max_tries : int;  (** Restarts from fresh random assignments. *)
+  max_flips : int;  (** Flips per try. *)
+  noise : float;  (** Random-walk probability in [0,1]. *)
+  seed : int;
+}
+
+val default_params : params
+
+type result = Sat of bool array | Unknown
+
+val solve : ?params:params -> Cnf.t -> result * int
+(** Returns the verdict and the total number of flips spent. A formula
+    containing the empty clause yields [Unknown] (WalkSAT cannot refute). *)

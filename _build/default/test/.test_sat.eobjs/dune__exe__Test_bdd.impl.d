@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Array Fpgasat_bdd Fpgasat_fpga Fpgasat_graph Fun List QCheck2 QCheck_alcotest

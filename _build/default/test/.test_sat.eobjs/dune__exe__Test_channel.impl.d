@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Format Fpgasat_channel Fpgasat_encodings Fpgasat_fpga List QCheck2 QCheck_alcotest Result

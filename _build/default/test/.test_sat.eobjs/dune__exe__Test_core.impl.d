@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Fpgasat_core Fpgasat_encodings Fpgasat_fpga Fpgasat_graph Fpgasat_sat List Option Printf String

@@ -1,0 +1,1 @@
+test/test_encodings.ml: Alcotest Array Fpgasat_encodings Fpgasat_graph Fpgasat_sat Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Array Filename Format Fpgasat_fpga Fpgasat_graph Fun List Option QCheck2 QCheck_alcotest String Sys

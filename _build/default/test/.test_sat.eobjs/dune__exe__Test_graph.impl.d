@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Filename Format Fpgasat_graph Fun List Printf QCheck2 QCheck_alcotest String Sys

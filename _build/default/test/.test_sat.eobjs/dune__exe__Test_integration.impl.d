@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Format Fpgasat_core Fpgasat_encodings Fpgasat_fpga Fpgasat_graph Fpgasat_sat List Option Sys

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Filename Fpgasat_sat List Printf QCheck2 QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_sat_extras.ml: Alcotest Array Format Fpgasat_sat List QCheck2 QCheck_alcotest Result

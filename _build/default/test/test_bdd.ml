@@ -1,0 +1,241 @@
+(* Tests for the BDD substrate: core ROBDD algebra (cross-checked by
+   exhaustive evaluation), and the BDD colouring baseline against brute
+   force — including the node-limit behaviour that motivates SAT. *)
+
+module G = Fpgasat_graph
+module Bdd = Fpgasat_bdd.Bdd
+module CB = Fpgasat_bdd.Coloring_bdd
+
+(* --- core BDD algebra --- *)
+
+let test_terminals () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "zero" true (Bdd.is_zero (Bdd.zero m));
+  Alcotest.(check bool) "one" true (Bdd.is_one (Bdd.one m));
+  Alcotest.(check bool) "not zero = one" true
+    (Bdd.is_one (Bdd.bdd_not m (Bdd.zero m)))
+
+let test_var_semantics () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and nx = Bdd.nvar m 0 in
+  Alcotest.(check bool) "x true" true (Bdd.eval m x (fun _ -> true));
+  Alcotest.(check bool) "x false" false (Bdd.eval m x (fun _ -> false));
+  Alcotest.(check bool) "nx = not x" true
+    (Bdd.equal nx (Bdd.bdd_not m x))
+
+let test_hash_consing () =
+  let m = Bdd.manager () in
+  let a = Bdd.bdd_and m (Bdd.var m 0) (Bdd.var m 1) in
+  let b = Bdd.bdd_and m (Bdd.var m 1) (Bdd.var m 0) in
+  Alcotest.(check bool) "canonical" true (Bdd.equal a b)
+
+let test_node_limit () =
+  let m = Bdd.manager ~max_nodes:8 () in
+  match
+    List.fold_left
+      (fun acc i -> Bdd.bdd_xor m acc (Bdd.var m i))
+      (Bdd.zero m)
+      (List.init 20 Fun.id)
+  with
+  | exception Bdd.Node_limit_exceeded -> ()
+  | _ -> Alcotest.fail "8 nodes cannot hold xor of 20 variables"
+
+let test_sat_count_examples () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check (float 1e-9)) "x over 2 vars" 2. (Bdd.sat_count m ~nvars:2 x);
+  Alcotest.(check (float 1e-9)) "x&y" 1. (Bdd.sat_count m ~nvars:2 (Bdd.bdd_and m x y));
+  Alcotest.(check (float 1e-9)) "x|y" 3. (Bdd.sat_count m ~nvars:2 (Bdd.bdd_or m x y));
+  Alcotest.(check (float 1e-9)) "xor" 2. (Bdd.sat_count m ~nvars:2 (Bdd.bdd_xor m x y));
+  Alcotest.(check (float 1e-9)) "one over 3 vars" 8.
+    (Bdd.sat_count m ~nvars:3 (Bdd.one m))
+
+let test_any_sat () =
+  let m = Bdd.manager () in
+  let f = Bdd.bdd_and m (Bdd.var m 0) (Bdd.nvar m 2) in
+  let assignment = Bdd.any_sat m f in
+  let lookup v = try List.assoc v assignment with Not_found -> false in
+  Alcotest.(check bool) "assignment satisfies" true (Bdd.eval m f lookup);
+  match Bdd.any_sat m (Bdd.zero m) with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "zero has no model"
+
+(* random 3-variable boolean expressions, checked against direct evaluation *)
+type expr =
+  | Var of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized_size (int_range 1 6)
+      (fix (fun self n ->
+           if n <= 1 then map (fun v -> Var v) (int_range 0 3)
+           else
+             oneof
+               [
+                 map (fun e -> Not e) (self (n - 1));
+                 map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2));
+               ])))
+
+let rec eval_expr env = function
+  | Var v -> env v
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+
+let rec to_bdd m = function
+  | Var v -> Bdd.var m v
+  | Not e -> Bdd.bdd_not m (to_bdd m e)
+  | And (a, b) -> Bdd.bdd_and m (to_bdd m a) (to_bdd m b)
+  | Or (a, b) -> Bdd.bdd_or m (to_bdd m a) (to_bdd m b)
+  | Xor (a, b) -> Bdd.bdd_xor m (to_bdd m a) (to_bdd m b)
+
+let prop_bdd_matches_semantics =
+  QCheck2.Test.make ~count:500 ~name:"BDD agrees with direct evaluation"
+    gen_expr (fun e ->
+      let m = Bdd.manager () in
+      let bdd = to_bdd m e in
+      List.for_all
+        (fun bits ->
+          let env v = (bits lsr v) land 1 = 1 in
+          Bdd.eval m bdd env = eval_expr env e)
+        (List.init 16 Fun.id))
+
+let prop_ite_consistent =
+  QCheck2.Test.make ~count:200 ~name:"ite(i,t,e) = (i&t)|(~i&e)"
+    QCheck2.Gen.(triple gen_expr gen_expr gen_expr)
+    (fun (i, t, e) ->
+      let m = Bdd.manager () in
+      let bi = to_bdd m i and bt = to_bdd m t and be = to_bdd m e in
+      let via_ite = Bdd.ite m bi bt be in
+      List.for_all
+        (fun bits ->
+          let env v = (bits lsr v) land 1 = 1 in
+          Bdd.eval m via_ite env
+          = if eval_expr env i then eval_expr env t else eval_expr env e)
+        (List.init 16 Fun.id))
+
+(* --- colouring with BDDs --- *)
+
+let triangle = G.Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ]
+
+let test_bdd_coloring_triangle () =
+  (match CB.k_colorable triangle ~k:2 with
+  | CB.Uncolorable -> ()
+  | CB.Colorable _ -> Alcotest.fail "triangle 2-colourable?"
+  | CB.Node_limit -> Alcotest.fail "node limit on a triangle");
+  match CB.k_colorable triangle ~k:3 with
+  | CB.Colorable c ->
+      Alcotest.(check bool) "proper" true (G.Coloring.is_proper triangle ~k:3 c)
+  | CB.Uncolorable | CB.Node_limit -> Alcotest.fail "triangle is 3-colourable"
+
+let test_bdd_counts_triangle () =
+  (* proper 3-colourings of a triangle: 3! = 6 *)
+  match CB.count_colorings triangle ~k:3 with
+  | Some count -> Alcotest.(check (float 1e-9)) "3! colourings" 6. count
+  | None -> Alcotest.fail "node limit"
+
+let test_bdd_node_limit_is_reachable () =
+  (* a modest conflict graph already blows a small node budget — the
+     scalability cliff the paper's Sect. 1 describes *)
+  let spec = List.hd Fpgasat_fpga.Benchmarks.specs in
+  let inst = Fpgasat_fpga.Benchmarks.build spec in
+  match CB.k_colorable ~max_nodes:20_000 inst.Fpgasat_fpga.Benchmarks.graph ~k:5 with
+  | CB.Node_limit -> ()
+  | CB.Colorable _ | CB.Uncolorable ->
+      Alcotest.fail "expected the BDD to exceed 20k nodes on alu2"
+
+let brute_colorable g k =
+  let n = G.Graph.num_vertices g in
+  let coloring = Array.make (max n 1) 0 in
+  let rec go v =
+    if v = n then true
+    else
+      let ok c =
+        List.for_all (fun w -> w > v || coloring.(w) <> c) (G.Graph.neighbors g v)
+      in
+      let rec try_c c =
+        c < k
+        && ((ok c
+            &&
+            (coloring.(v) <- c;
+             go (v + 1)))
+           || try_c (c + 1))
+      in
+      try_c 0
+  in
+  n = 0 || go 0
+
+let brute_count g k =
+  let n = G.Graph.num_vertices g in
+  let coloring = Array.make (max n 1) (-1) in
+  let count = ref 0 in
+  let rec go v =
+    if v = n then incr count
+    else
+      for c = 0 to k - 1 do
+        let ok =
+          List.for_all (fun w -> coloring.(w) <> c) (G.Graph.neighbors g v)
+        in
+        if ok then begin
+          coloring.(v) <- c;
+          go (v + 1);
+          coloring.(v) <- -1
+        end
+      done
+  in
+  go 0;
+  !count
+
+let gen_small_graph =
+  QCheck2.Gen.(
+    let* n = int_range 1 6 in
+    let* k = int_range 1 3 in
+    let* edges =
+      list_repeat (2 * n) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    in
+    return (n, k, List.filter (fun (u, v) -> u <> v) edges))
+
+let prop_bdd_coloring_agrees =
+  QCheck2.Test.make ~count:200 ~name:"BDD colouring agrees with brute force"
+    gen_small_graph (fun (n, k, edges) ->
+      let g = G.Graph.of_edges n edges in
+      match CB.k_colorable g ~k with
+      | CB.Colorable c -> brute_colorable g k && G.Coloring.is_proper g ~k c
+      | CB.Uncolorable -> not (brute_colorable g k)
+      | CB.Node_limit -> false)
+
+let prop_bdd_count_agrees =
+  QCheck2.Test.make ~count:200 ~name:"BDD model count = number of colourings"
+    gen_small_graph (fun (n, k, edges) ->
+      let g = G.Graph.of_edges n edges in
+      match CB.count_colorings g ~k with
+      | Some count -> int_of_float count = brute_count g k
+      | None -> false)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "core",
+        Alcotest.test_case "terminals" `Quick test_terminals
+        :: Alcotest.test_case "var semantics" `Quick test_var_semantics
+        :: Alcotest.test_case "hash consing" `Quick test_hash_consing
+        :: Alcotest.test_case "node limit" `Quick test_node_limit
+        :: Alcotest.test_case "sat count" `Quick test_sat_count_examples
+        :: Alcotest.test_case "any sat" `Quick test_any_sat
+        :: qtests [ prop_bdd_matches_semantics; prop_ite_consistent ] );
+      ( "coloring",
+        Alcotest.test_case "triangle" `Quick test_bdd_coloring_triangle
+        :: Alcotest.test_case "counting" `Quick test_bdd_counts_triangle
+        :: Alcotest.test_case "node limit reachable" `Quick
+             test_bdd_node_limit_is_reachable
+        :: qtests [ prop_bdd_coloring_agrees; prop_bdd_count_agrees ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for segmented channel routing: the channel model (segments,
+   feasibility, conflicts, verification) and the SAT flow, cross-checked
+   against a brute-force assignment search. *)
+
+module Ch = Fpgasat_channel.Segmented_channel
+module Cs = Fpgasat_channel.Channel_sat
+module E = Fpgasat_encodings
+module F = Fpgasat_fpga
+
+let conn = Ch.connection
+
+(* --- channel model --- *)
+
+let test_segments () =
+  let ch = Ch.make ~length:10 ~cuts:[| [ 3; 7 ]; [] |] in
+  Alcotest.(check (list (pair int int)))
+    "cut track" [ (0, 2); (3, 6); (7, 9) ] (Ch.segments ch 0);
+  Alcotest.(check (list (pair int int))) "uncut track" [ (0, 9) ] (Ch.segments ch 1)
+
+let test_uniform () =
+  let ch = Ch.uniform ~length:9 ~tracks:2 ~segment_length:3 in
+  Alcotest.(check (list (pair int int)))
+    "uniform segments" [ (0, 2); (3, 5); (6, 8) ] (Ch.segments ch 0);
+  Alcotest.(check int) "tracks" 2 (Ch.num_tracks ch)
+
+let test_bad_cuts_rejected () =
+  List.iter
+    (fun cuts ->
+      match Ch.make ~length:10 ~cuts:[| cuts |] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "bad cuts accepted")
+    [ [ 0 ]; [ 10 ]; [ 5; 5 ]; [ 7; 3 ]; [ -1 ] ]
+
+let test_segment_covering () =
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ] |] in
+  Alcotest.(check (option int)) "left segment" (Some 0)
+    (Ch.segment_covering ch ~track:0 ~left:1 ~right:4);
+  Alcotest.(check (option int)) "right segment" (Some 1)
+    (Ch.segment_covering ch ~track:0 ~left:5 ~right:9);
+  Alcotest.(check (option int)) "crossing the cut" None
+    (Ch.segment_covering ch ~track:0 ~left:3 ~right:6)
+
+let test_feasible_tracks () =
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ]; [] |] in
+  Alcotest.(check (list int)) "crossing connection" [ 1 ]
+    (Ch.feasible_tracks ch (conn 0 3 6));
+  Alcotest.(check (list int)) "short connection" [ 0; 1 ]
+    (Ch.feasible_tracks ch (conn 1 0 2))
+
+let test_conflicts () =
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ] |] in
+  (* same left segment, even with disjoint spans: one conductor *)
+  Alcotest.(check bool) "same segment conflicts" true
+    (Ch.conflict_on_track ch (conn 0 0 1) (conn 1 3 4) ~track:0);
+  Alcotest.(check bool) "different segments ok" false
+    (Ch.conflict_on_track ch (conn 0 0 1) (conn 1 6 8) ~track:0)
+
+let test_verify () =
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ]; [] |] in
+  let conns = [ conn 0 0 2; conn 1 3 4; conn 2 6 9 ] in
+  (match Ch.verify ch conns [| 0; 1; 0 |] with
+  | Ok () -> ()
+  | Error v -> Alcotest.fail (Format.asprintf "%a" Ch.pp_violation v));
+  (match Ch.verify ch conns [| 0; 0; 0 |] with
+  | Error (Ch.Shared_segment (0, 1)) -> ()
+  | _ -> Alcotest.fail "shared conductor not caught");
+  (match Ch.verify ch [ conn 0 3 6 ] [| 0 |] with
+  | Error (Ch.Infeasible_track 0) -> ()
+  | _ -> Alcotest.fail "crossing span not caught");
+  match Ch.verify ch [ conn 0 0 1 ] [| 5 |] with
+  | Error (Ch.Track_out_of_range 0) -> ()
+  | _ -> Alcotest.fail "bad track not caught"
+
+(* --- SAT routing --- *)
+
+let brute_route ch conns =
+  let k = Ch.num_tracks ch in
+  let conns_arr = Array.of_list conns in
+  let n = Array.length conns_arr in
+  let assignment = Array.make n 0 in
+  let rec go i =
+    if i = n then Result.is_ok (Ch.verify ch conns assignment)
+    else
+      let rec try_track t =
+        t < k
+        && ((assignment.(i) <- t;
+             let prefix_ok =
+               (* partial check: conflicts only among assigned prefix *)
+               let rec clash j =
+                 j < i
+                 && ((assignment.(j) = t
+                     && Ch.conflict_on_track ch conns_arr.(i) conns_arr.(j)
+                          ~track:t)
+                    || clash (j + 1))
+               in
+               Ch.feasible_tracks ch conns_arr.(i) |> List.mem t && not (clash 0)
+             in
+             prefix_ok && go (i + 1))
+           || try_track (t + 1))
+      in
+      try_track 0
+  in
+  n = 0 || go 0
+
+let test_route_simple () =
+  (* track 0: segments (0-4)(5-9); track 1: one conductor. The spanning
+     connection 2-7 must take track 1, the short ones the two segments of
+     track 0. *)
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ]; [] |] in
+  let conns = [ conn 0 0 2; conn 1 6 9; conn 2 2 7 ] in
+  match Cs.route ch conns with
+  | Cs.Routed assignment ->
+      Alcotest.(check bool) "verified" true
+        (Result.is_ok (Ch.verify ch conns assignment))
+  | Cs.Unroutable -> Alcotest.fail "this channel is routable"
+  | Cs.Timeout -> Alcotest.fail "no budget set"
+
+let test_route_unroutable () =
+  (* two connections crossing the only cut on the only cut track, and one
+     uncut track: three spans over column 4..5 but capacity 1 *)
+  let ch = Ch.make ~length:10 ~cuts:[| [ 5 ] |] in
+  match Cs.route ch [ conn 0 3 6; conn 1 4 7 ] with
+  | Cs.Unroutable -> ()
+  | Cs.Routed _ -> Alcotest.fail "impossible routing found"
+  | Cs.Timeout -> Alcotest.fail "no budget set"
+
+let test_route_empty () =
+  let ch = Ch.make ~length:4 ~cuts:[| [] |] in
+  match Cs.route ch [] with
+  | Cs.Routed [||] -> ()
+  | _ -> Alcotest.fail "empty routing"
+
+let gen_instance =
+  QCheck2.Gen.(
+    let* length = int_range 4 12 in
+    let* tracks = int_range 1 4 in
+    let* seed = int_range 0 100_000 in
+    let* nconns = int_range 1 8 in
+    let* spans =
+      list_repeat nconns
+        (let* a = int_range 0 (length - 1) in
+         let* b = int_range 0 (length - 1) in
+         return (a, b))
+    in
+    return (length, tracks, seed, spans))
+
+let prop_sat_agrees_with_brute_force =
+  QCheck2.Test.make ~count:200 ~name:"channel SAT routing agrees with brute force"
+    gen_instance (fun (length, tracks, seed, spans) ->
+      let rng = F.Rng.create seed in
+      let ch = Ch.random ~rng ~length ~tracks ~max_cuts:3 in
+      let conns = List.mapi (fun i (a, b) -> conn i a b) spans in
+      let expected = brute_route ch conns in
+      match Cs.route ch conns with
+      | Cs.Routed assignment ->
+          expected && Result.is_ok (Ch.verify ch conns assignment)
+      | Cs.Unroutable -> not expected
+      | Cs.Timeout -> false)
+
+let prop_encodings_agree_on_channels =
+  QCheck2.Test.make ~count:100 ~name:"all encodings agree on channel instances"
+    gen_instance (fun (length, tracks, seed, spans) ->
+      let rng = F.Rng.create seed in
+      let ch = Ch.random ~rng ~length ~tracks ~max_cuts:3 in
+      let conns = List.mapi (fun i (a, b) -> conn i a b) spans in
+      let verdict encoding =
+        match Cs.route ~encoding ch conns with
+        | Cs.Routed _ -> true
+        | Cs.Unroutable -> false
+        | Cs.Timeout -> failwith "timeout"
+      in
+      let verdicts = List.map verdict E.Registry.table2 in
+      match verdicts with
+      | [] -> true
+      | v :: rest -> List.for_all (fun v' -> v = v') rest)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "channel"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "segments" `Quick test_segments;
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "bad cuts rejected" `Quick test_bad_cuts_rejected;
+          Alcotest.test_case "segment covering" `Quick test_segment_covering;
+          Alcotest.test_case "feasible tracks" `Quick test_feasible_tracks;
+          Alcotest.test_case "conflicts" `Quick test_conflicts;
+          Alcotest.test_case "verify" `Quick test_verify;
+        ] );
+      ( "sat",
+        Alcotest.test_case "routes a simple channel" `Quick test_route_simple
+        :: Alcotest.test_case "detects unroutability" `Quick test_route_unroutable
+        :: Alcotest.test_case "empty" `Quick test_route_empty
+        :: qtests
+             [ prop_sat_agrees_with_brute_force; prop_encodings_agree_on_channels ]
+      );
+    ]

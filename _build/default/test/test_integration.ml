@@ -1,0 +1,257 @@
+(* Integration tests: the complete pipeline on real benchmark instances —
+   generate, globally route, reduce, export interchange formats, solve with
+   several strategies, decode, verify against the architecture, and check
+   cross-strategy consistency. *)
+
+module Sat = Fpgasat_sat
+module G = Fpgasat_graph
+module E = Fpgasat_encodings
+module F = Fpgasat_fpga
+module C = Fpgasat_core
+module Flow = C.Flow
+
+let strategy name =
+  match C.Strategy.of_name name with Ok s -> s | Error m -> Alcotest.fail m
+
+(* use the two smallest benchmarks to keep the suite quick *)
+let alu2 = F.Benchmarks.build (Option.get (F.Benchmarks.find "alu2"))
+let too_large = F.Benchmarks.build (Option.get (F.Benchmarks.find "too_large"))
+
+let budget = Sat.Solver.time_budget 60.
+
+let test_benchmark_instances_consistent () =
+  List.iter
+    (fun inst ->
+      let n = F.Netlist.num_subnets inst.F.Benchmarks.netlist in
+      Alcotest.(check int) "graph vertices = subnets" n
+        (G.Graph.num_vertices inst.F.Benchmarks.graph);
+      Alcotest.(check bool) "congested" true (inst.F.Benchmarks.max_congestion >= 2))
+    [ alu2; too_large ]
+
+let test_full_flow_on_alu2 () =
+  match C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let w = r.C.Binary_search.w_min in
+      Alcotest.(check bool) "w_min >= congestion" true
+        (w >= alu2.F.Benchmarks.max_congestion);
+      (* the detailed routing is verified against the FPGA model *)
+      let d = r.C.Binary_search.routing in
+      (match
+         F.Detailed_route.verify alu2.F.Benchmarks.route ~width:w
+           d.F.Detailed_route.tracks
+       with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.fail
+            (Format.asprintf "invalid routing: %a" F.Detailed_route.pp_violation v));
+      (* and the width below is refuted by an independent strategy *)
+      let run =
+        Flow.check_width ~strategy:(strategy "log@minisat") ~budget
+          alu2.F.Benchmarks.route ~width:(w - 1)
+      in
+      (match run.Flow.outcome with
+      | Flow.Unroutable -> ()
+      | Flow.Routable _ -> Alcotest.fail "log found a routing below w_min"
+      | Flow.Timeout -> Alcotest.fail "log timed out on alu2")
+
+let test_unsat_instance_has_drat_trace () =
+  match C.Binary_search.minimal_width ~budget too_large.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let w = r.C.Binary_search.w_min in
+      if w > G.Clique.lower_bound too_large.F.Benchmarks.graph then begin
+        let run =
+          Flow.check_width ~want_proof:true ~budget too_large.F.Benchmarks.route
+            ~width:(w - 1)
+        in
+        match (run.Flow.outcome, run.Flow.proof) with
+        | Flow.Unroutable, Some proof ->
+            Alcotest.(check bool) "refutation trace complete" true
+              (Sat.Proof.ends_with_empty proof)
+        | _ -> Alcotest.fail "expected a proved refutation"
+      end
+
+let test_interchange_formats () =
+  (* the paper's tool flow materialises the colouring problem as DIMACS .col
+     and the SAT problem as DIMACS cnf; both must round-trip on a real
+     instance *)
+  let graph = alu2.F.Benchmarks.graph in
+  let col = G.Dimacs_col.to_string ~comments:[ "alu2 conflict graph" ] graph in
+  let graph' = G.Dimacs_col.parse_string col in
+  Alcotest.(check int) "col vertices" (G.Graph.num_vertices graph)
+    (G.Graph.num_vertices graph');
+  Alcotest.(check int) "col edges" (G.Graph.num_edges graph)
+    (G.Graph.num_edges graph');
+  let csp = E.Csp.make graph' ~k:alu2.F.Benchmarks.max_congestion in
+  let encoded = E.Csp_encode.encode (List.hd E.Registry.new_encodings) csp in
+  let cnf_text = Sat.Dimacs_cnf.to_string encoded.E.Csp_encode.cnf in
+  let cnf' = Sat.Dimacs_cnf.parse_string cnf_text in
+  Alcotest.(check int) "cnf clauses"
+    (Sat.Cnf.num_clauses encoded.E.Csp_encode.cnf)
+    (Sat.Cnf.num_clauses cnf');
+  (* solving the re-parsed CNF gives the same verdict *)
+  let v1 = fst (Sat.Solver.solve ~budget encoded.E.Csp_encode.cnf) in
+  let v2 = fst (Sat.Solver.solve ~budget cnf') in
+  let tag = function
+    | Sat.Solver.Sat _ -> "sat"
+    | Sat.Solver.Unsat -> "unsat"
+    | Sat.Solver.Unknown -> "unknown"
+  in
+  Alcotest.(check string) "same verdict" (tag v1) (tag v2)
+
+let test_strategies_consistent_on_alu2 () =
+  (* several distinct strategies must agree at w_min and w_min - 1 *)
+  match C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let w = r.C.Binary_search.w_min in
+      let strategies =
+        [
+          "muldirect/b1"; "ITE-log/s1"; "direct-3+muldirect/s1@minisat";
+          "ITE-linear-2+direct/b1";
+        ]
+      in
+      List.iter
+        (fun sname ->
+          let sat_run =
+            Flow.check_width ~strategy:(strategy sname) ~budget
+              alu2.F.Benchmarks.route ~width:w
+          in
+          (match sat_run.Flow.outcome with
+          | Flow.Routable _ -> ()
+          | Flow.Unroutable -> Alcotest.fail (sname ^ ": w_min unroutable?")
+          | Flow.Timeout -> Alcotest.fail (sname ^ ": timeout at w_min"));
+          let unsat_run =
+            Flow.check_width ~strategy:(strategy sname) ~budget
+              alu2.F.Benchmarks.route ~width:(w - 1)
+          in
+          match unsat_run.Flow.outcome with
+          | Flow.Unroutable -> ()
+          | Flow.Routable _ -> Alcotest.fail (sname ^ ": found impossible routing")
+          | Flow.Timeout -> Alcotest.fail (sname ^ ": timeout below w_min"))
+        strategies
+
+let test_portfolio_on_benchmark () =
+  let width = alu2.F.Benchmarks.max_congestion in
+  let p =
+    C.Portfolio.run_simulated ~budget C.Strategy.paper_portfolio_3
+      alu2.F.Benchmarks.route ~width
+  in
+  match p.C.Portfolio.winner with
+  | Some w ->
+      Alcotest.(check bool) "portfolio time <= member times" true
+        (List.for_all
+           (fun m ->
+             Flow.total w.C.Portfolio.run.Flow.timings
+             <= Flow.total m.C.Portfolio.run.Flow.timings +. 1e-9)
+           p.C.Portfolio.members)
+  | None -> Alcotest.fail "portfolio found no answer"
+
+let test_drat_check_validates_flow_proof () =
+  (* independently re-derive the solver's unroutability proof for alu2 via
+     reverse unit propagation — the strongest end-to-end correctness check
+     in the repository *)
+  match C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let w = r.C.Binary_search.w_min in
+      let graph = alu2.F.Benchmarks.graph in
+      let csp = E.Csp.make graph ~k:(w - 1) in
+      let encoded =
+        E.Csp_encode.encode ~symmetry:E.Symmetry.S1
+          (match E.Encoding.of_name "ITE-linear-2+muldirect" with
+          | Ok e -> e
+          | Error m -> Alcotest.fail m)
+          csp
+      in
+      let proof = Sat.Proof.create () in
+      (match Sat.Solver.solve ~proof encoded.E.Csp_encode.cnf with
+      | Sat.Solver.Unsat, _ -> ()
+      | _ -> Alcotest.fail "expected UNSAT");
+      (match Sat.Drat_check.check encoded.E.Csp_encode.cnf proof with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.fail (Format.asprintf "%a" Sat.Drat_check.pp_error e))
+
+let test_incremental_on_benchmark () =
+  match
+    ( C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route,
+      C.Incremental_width.minimal_colors ~budget alu2.F.Benchmarks.graph )
+  with
+  | Ok bs, Ok inc ->
+      Alcotest.(check int) "agree on w_min" bs.C.Binary_search.w_min
+        inc.C.Incremental_width.w_min
+  | Error m, _ | _, Error m -> Alcotest.fail m
+
+let test_exact_coloring_agrees_on_benchmark () =
+  (* the CSP-search baseline agrees with the SAT flow on alu2's w_min *)
+  match C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r -> (
+      let w = r.C.Binary_search.w_min in
+      match G.Exact_coloring.k_colorable alu2.F.Benchmarks.graph ~k:w with
+      | G.Exact_coloring.Colorable c ->
+          Alcotest.(check bool) "proper" true
+            (G.Coloring.is_proper alu2.F.Benchmarks.graph ~k:w c)
+      | G.Exact_coloring.Uncolorable -> Alcotest.fail "B&B contradicts SAT"
+      | G.Exact_coloring.Exhausted -> ()) (* acceptable: budgeted *)
+
+let test_serial_roundtrip_preserves_verdict () =
+  (* write the alu2 netlist + routes to disk, read them back, and check the
+     flow gives the same verdict at the same width *)
+  let nets_file = Filename.temp_file "alu2" ".nets" in
+  let routes_file = Filename.temp_file "alu2" ".routes" in
+  F.Serial.write_netlist nets_file alu2.F.Benchmarks.arch alu2.F.Benchmarks.netlist;
+  F.Serial.write_routes routes_file alu2.F.Benchmarks.route;
+  let _, netlist = F.Serial.read_netlist nets_file in
+  let route = F.Serial.read_routes ~netlist routes_file in
+  Sys.remove nets_file;
+  Sys.remove routes_file;
+  let w = alu2.F.Benchmarks.max_congestion in
+  let direct = Flow.check_width ~budget alu2.F.Benchmarks.route ~width:w in
+  let via_files = Flow.check_width ~budget route ~width:w in
+  let tag r =
+    match r.Flow.outcome with
+    | Flow.Routable _ -> "routable"
+    | Flow.Unroutable -> "unroutable"
+    | Flow.Timeout -> "timeout"
+  in
+  Alcotest.(check string) "same verdict" (tag direct) (tag via_files)
+
+let test_greedy_vs_sat_optimality () =
+  (* DSATUR (the one-net-at-a-time style baseline) may need more tracks than
+     the SAT flow's proven optimum — never fewer *)
+  match C.Binary_search.minimal_width ~budget alu2.F.Benchmarks.route with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let dsatur_width = G.Greedy.upper_bound alu2.F.Benchmarks.graph in
+      Alcotest.(check bool) "sat optimum <= dsatur" true
+        (r.C.Binary_search.w_min <= dsatur_width)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "instances consistent" `Quick
+            test_benchmark_instances_consistent;
+          Alcotest.test_case "full flow on alu2" `Quick test_full_flow_on_alu2;
+          Alcotest.test_case "drat trace on refutation" `Quick
+            test_unsat_instance_has_drat_trace;
+          Alcotest.test_case "interchange formats" `Quick test_interchange_formats;
+          Alcotest.test_case "strategies consistent" `Slow
+            test_strategies_consistent_on_alu2;
+          Alcotest.test_case "portfolio" `Quick test_portfolio_on_benchmark;
+          Alcotest.test_case "greedy vs sat optimality" `Quick
+            test_greedy_vs_sat_optimality;
+          Alcotest.test_case "drat-check of a flow proof" `Quick
+            test_drat_check_validates_flow_proof;
+          Alcotest.test_case "incremental on benchmark" `Quick
+            test_incremental_on_benchmark;
+          Alcotest.test_case "exact coloring agrees" `Quick
+            test_exact_coloring_agrees_on_benchmark;
+          Alcotest.test_case "serial roundtrip verdict" `Quick
+            test_serial_roundtrip_preserves_verdict;
+        ] );
+    ]

@@ -1,0 +1,446 @@
+(* Tests for the SAT substrate: literals, CNF building, DIMACS round trips,
+   the Luby sequence, the heap, and — most importantly — the CDCL solver
+   cross-checked against brute force and the independent DPLL solver. *)
+
+module Lit = Fpgasat_sat.Lit
+module Cnf = Fpgasat_sat.Cnf
+module Dimacs = Fpgasat_sat.Dimacs_cnf
+module Solver = Fpgasat_sat.Solver
+module Dpll = Fpgasat_sat.Dpll
+module Luby = Fpgasat_sat.Luby
+module Heap = Fpgasat_sat.Heap
+module Vec = Fpgasat_sat.Vec
+module Proof = Fpgasat_sat.Proof
+
+let cnf_of_dimacs_lists nvars clauses =
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf nvars;
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) clauses;
+  cnf
+
+(* Exhaustive satisfiability check for formulas with few variables. *)
+let brute_force cnf =
+  let n = Cnf.num_vars cnf in
+  assert (n <= 20);
+  let clauses = Cnf.clauses cnf in
+  let sat_under m =
+    List.for_all
+      (fun lits ->
+        Array.exists
+          (fun l -> (m lsr Lit.var l) land 1 = if Lit.sign l then 1 else 0)
+          lits)
+      clauses
+  in
+  let rec go m = if m >= 1 lsl n then None else if sat_under m then Some m else go (m + 1) in
+  go 0
+
+let solver_result_is_sat = function
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown -> Alcotest.fail "solver returned Unknown without budget"
+
+(* --- literal representation --- *)
+
+let test_lit_roundtrip () =
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "dimacs roundtrip" d (Lit.to_dimacs (Lit.of_dimacs d)))
+    [ 1; -1; 5; -5; 1000; -1000 ]
+
+let test_lit_ops () =
+  let l = Lit.make 3 true in
+  Alcotest.(check int) "var" 3 (Lit.var l);
+  Alcotest.(check bool) "sign" true (Lit.sign l);
+  Alcotest.(check bool) "negate sign" false (Lit.sign (Lit.negate l));
+  Alcotest.(check int) "negate var" 3 (Lit.var (Lit.negate l));
+  Alcotest.(check int) "double negate" l (Lit.negate (Lit.negate l));
+  Alcotest.(check int) "pos" (Lit.make 7 true) (Lit.pos 7);
+  Alcotest.(check int) "neg_of" (Lit.make 7 false) (Lit.neg_of 7)
+
+let test_lit_of_dimacs_zero () =
+  Alcotest.check_raises "of_dimacs 0" (Invalid_argument "Lit.of_dimacs: 0")
+    (fun () -> ignore (Lit.of_dimacs 0))
+
+(* --- Cnf builder --- *)
+
+let test_cnf_tautology_dropped () =
+  let cnf = cnf_of_dimacs_lists 2 [ [ 1; -1 ]; [ 1; 2 ] ] in
+  Alcotest.(check int) "tautology dropped" 1 (Cnf.num_clauses cnf)
+
+let test_cnf_duplicates_removed () =
+  let cnf = cnf_of_dimacs_lists 1 [ [ 1; 1; 1 ] ] in
+  (match Cnf.clauses cnf with
+  | [ arr ] -> Alcotest.(check int) "deduped" 1 (Array.length arr)
+  | _ -> Alcotest.fail "expected one clause");
+  ()
+
+let test_cnf_unallocated_var_rejected () =
+  let cnf = Cnf.create () in
+  Alcotest.check_raises "unallocated"
+    (Invalid_argument "Cnf.add_clause: unallocated variable") (fun () ->
+      Cnf.add_clause cnf [ Lit.pos 0 ])
+
+let test_cnf_fresh_vars () =
+  let cnf = Cnf.create () in
+  let vars = Cnf.fresh_vars cnf 5 in
+  Alcotest.(check int) "count" 5 (Cnf.num_vars cnf);
+  Alcotest.(check (array int)) "consecutive" [| 0; 1; 2; 3; 4 |] vars
+
+let test_cnf_copy_independent () =
+  let cnf = cnf_of_dimacs_lists 2 [ [ 1; 2 ] ] in
+  let copy = Cnf.copy cnf in
+  Cnf.add_clause cnf [ Lit.pos 0 ];
+  Alcotest.(check int) "copy unchanged" 1 (Cnf.num_clauses copy);
+  Alcotest.(check int) "original grew" 2 (Cnf.num_clauses cnf)
+
+(* --- DIMACS --- *)
+
+let test_dimacs_roundtrip () =
+  let cnf = cnf_of_dimacs_lists 3 [ [ 1; -2 ]; [ 2; 3 ]; [ -1; -3 ] ] in
+  let s = Dimacs.to_string ~comments:[ "a comment" ] cnf in
+  let cnf' = Dimacs.parse_string s in
+  Alcotest.(check int) "vars" (Cnf.num_vars cnf) (Cnf.num_vars cnf');
+  Alcotest.(check int) "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses cnf');
+  Alcotest.(check (list (list int)))
+    "clauses equal"
+    (List.map (fun a -> Array.to_list a |> List.map Lit.to_dimacs) (Cnf.clauses cnf))
+    (List.map (fun a -> Array.to_list a |> List.map Lit.to_dimacs) (Cnf.clauses cnf'))
+
+let test_dimacs_multiline_clause () =
+  let cnf = Dimacs.parse_string "p cnf 3 1\n1 2\n3 0\n" in
+  Alcotest.(check int) "one clause" 1 (Cnf.num_clauses cnf);
+  match Cnf.clauses cnf with
+  | [ arr ] -> Alcotest.(check int) "three lits" 3 (Array.length arr)
+  | _ -> Alcotest.fail "expected one clause"
+
+let expect_parse_error s =
+  match Dimacs.parse_string s with
+  | exception Dimacs.Parse_error _ -> ()
+  | _ -> Alcotest.fail ("parse should have failed: " ^ s)
+
+let test_dimacs_errors () =
+  expect_parse_error "1 2 0\n";
+  (* no header *)
+  expect_parse_error "p cnf 2 1\n3 0\n";
+  (* literal out of range *)
+  expect_parse_error "p cnf 2 1\n1 2\n";
+  (* unterminated clause *)
+  expect_parse_error "p cnf x y\n";
+  (* malformed header *)
+  expect_parse_error "p cnf 2 1\np cnf 2 1\n1 0\n" (* duplicate header *)
+
+let test_dimacs_comments_and_blanks () =
+  let cnf = Dimacs.parse_string "c hello\n\np cnf 2 2\nc mid\n1 0\n-2 0\n" in
+  Alcotest.(check int) "clauses" 2 (Cnf.num_clauses cnf)
+
+(* --- Luby --- *)
+
+let test_luby_prefix () =
+  let expected = [ 1; 1; 2; 1; 1; 2; 4; 1; 1; 2; 1; 1; 2; 4; 8 ] in
+  let got = List.init (List.length expected) Luby.get in
+  Alcotest.(check (list int)) "luby prefix" expected got
+
+(* --- Heap --- *)
+
+let test_heap_order () =
+  let scores = [| 1.0; 5.0; 3.0; 4.0; 2.0 |] in
+  let h = Heap.create ~scores in
+  for v = 0 to 4 do
+    Heap.insert h v
+  done;
+  let order = List.init 5 (fun _ -> Heap.remove_max h) in
+  Alcotest.(check (list int)) "descending score order" [ 1; 3; 2; 4; 0 ] order;
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_rescore () =
+  let scores = [| 1.0; 2.0; 3.0 |] in
+  let h = Heap.create ~scores in
+  for v = 0 to 2 do
+    Heap.insert h v
+  done;
+  scores.(0) <- 10.0;
+  Heap.rescore h 0;
+  Alcotest.(check int) "rescored max" 0 (Heap.remove_max h)
+
+(* --- Vec --- *)
+
+let test_vec_basics () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "size" 100 (Vec.size v);
+  Alcotest.(check int) "last" 100 (Vec.last v);
+  Alcotest.(check int) "pop" 100 (Vec.pop v);
+  Vec.filter_in_place (fun x -> x mod 2 = 0) v;
+  Alcotest.(check int) "filtered" 49 (Vec.size v);
+  Alcotest.(check int) "first even" 2 (Vec.get v 0);
+  Vec.swap_remove v 0;
+  Alcotest.(check int) "swap_remove moved last" 98 (Vec.get v 0)
+
+(* --- solver on hand-written formulas --- *)
+
+let test_solver_empty_formula () =
+  let cnf = Cnf.create () in
+  match Solver.solve cnf with
+  | Solver.Sat m, _ -> Alcotest.(check int) "empty model" 0 (Array.length m)
+  | _ -> Alcotest.fail "empty formula is SAT"
+
+let test_solver_empty_clause () =
+  let cnf = Cnf.create () in
+  Cnf.add_clause cnf [];
+  match Solver.solve cnf with
+  | Solver.Unsat, _ -> ()
+  | _ -> Alcotest.fail "empty clause is UNSAT"
+
+let test_solver_unit_conflict () =
+  let cnf = cnf_of_dimacs_lists 1 [ [ 1 ]; [ -1 ] ] in
+  match Solver.solve cnf with
+  | Solver.Unsat, _ -> ()
+  | _ -> Alcotest.fail "x and not x is UNSAT"
+
+let test_solver_simple_sat () =
+  let cnf = cnf_of_dimacs_lists 3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 1; -3 ] ] in
+  match Solver.solve cnf with
+  | Solver.Sat m, _ ->
+      Alcotest.(check bool) "model checks" true (Solver.check_model cnf m)
+  | _ -> Alcotest.fail "formula is SAT"
+
+(* Pigeonhole principle: n+1 pigeons, n holes — classic small hard UNSAT. *)
+let php pigeons holes =
+  let cnf = Cnf.create () in
+  let v = Array.init pigeons (fun _ -> Cnf.fresh_vars cnf holes) in
+  for p = 0 to pigeons - 1 do
+    Cnf.add_clause cnf (Array.to_list (Array.map Lit.pos v.(p)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of v.(p1).(h); Lit.neg_of v.(p2).(h) ]
+      done
+    done
+  done;
+  cnf
+
+let test_solver_php_unsat () =
+  List.iter
+    (fun n ->
+      match Solver.solve (php (n + 1) n) with
+      | Solver.Unsat, _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "PHP %d/%d must be UNSAT" (n + 1) n))
+    [ 2; 3; 4; 5; 6 ]
+
+let test_solver_php_sat () =
+  match Solver.solve (php 5 5) with
+  | Solver.Sat m, _ ->
+      Alcotest.(check bool) "model checks" true (Solver.check_model (php 5 5) m)
+  | _ -> Alcotest.fail "PHP 5/5 is SAT"
+
+let test_solver_budget_unknown () =
+  let cnf = php 9 8 in
+  match Solver.solve ~budget:(Solver.conflict_budget 5) cnf with
+  | Solver.Unknown, stats ->
+      Alcotest.(check bool) "few conflicts" true (stats.Fpgasat_sat.Stats.conflicts <= 6)
+  | Solver.Unsat, _ -> Alcotest.fail "budget of 5 conflicts cannot refute PHP 9/8"
+  | Solver.Sat _, _ -> Alcotest.fail "PHP 9/8 is not SAT"
+
+let test_solver_proof_ends_empty () =
+  let proof = Proof.create () in
+  (match Solver.solve ~proof (php 5 4) with
+  | Solver.Unsat, _ -> ()
+  | _ -> Alcotest.fail "PHP 5/4 is UNSAT");
+  Alcotest.(check bool) "proof ends with empty clause" true (Proof.ends_with_empty proof);
+  Alcotest.(check bool) "proof nonempty" true (Proof.num_steps proof > 0)
+
+let test_solver_proof_drat_text () =
+  let proof = Proof.create () in
+  (match Solver.solve ~proof (php 4 3) with
+  | Solver.Unsat, _ -> ()
+  | _ -> Alcotest.fail "PHP 4/3 is UNSAT");
+  let file = Filename.temp_file "fpgasat" ".drat" in
+  let oc = open_out file in
+  Proof.output oc proof;
+  close_out oc;
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove file;
+  Alcotest.(check bool) "file nonempty" true (len > 0)
+
+let test_solver_both_presets_agree () =
+  let cnf = php 6 5 in
+  let r1, _ = Solver.solve ~config:Solver.minisat_like cnf in
+  let r2, _ = Solver.solve ~config:Solver.siege_like cnf in
+  Alcotest.(check bool) "both UNSAT" true (r1 = Solver.Unsat && r2 = Solver.Unsat)
+
+let test_solver_wide_clauses () =
+  (* a single wide clause plus forcing units: exercises watch relocation *)
+  let cnf = Cnf.create () in
+  let vars = Cnf.fresh_vars cnf 30 in
+  Cnf.add_clause cnf (Array.to_list (Array.map Lit.pos vars));
+  Array.iteri (fun i v -> if i < 29 then Cnf.add_clause cnf [ Lit.neg_of v ]) vars;
+  match Solver.solve cnf with
+  | Solver.Sat m, _ ->
+      Alcotest.(check bool) "last literal carries the clause" true m.(29);
+      Alcotest.(check bool) "model checks" true (Solver.check_model cnf m)
+  | _ -> Alcotest.fail "satisfiable"
+
+let test_solver_deterministic () =
+  (* fixed seeds make runs bit-identical: same stats on repeat *)
+  let cnf = php 7 6 in
+  let _, s1 = Solver.solve cnf in
+  let _, s2 = Solver.solve cnf in
+  Alcotest.(check int) "same conflicts" s1.Fpgasat_sat.Stats.conflicts
+    s2.Fpgasat_sat.Stats.conflicts;
+  Alcotest.(check int) "same decisions" s1.Fpgasat_sat.Stats.decisions
+    s2.Fpgasat_sat.Stats.decisions
+
+let prop_luby_structure =
+  QCheck2.Test.make ~count:200 ~name:"Luby values are powers of two"
+    QCheck2.Gen.(int_range 0 500)
+    (fun i ->
+      let v = Luby.get i in
+      v > 0 && v land (v - 1) = 0)
+
+let test_luby_negative_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Luby.get") (fun () ->
+      ignore (Luby.get (-1)))
+
+(* --- random CNF cross-checks --- *)
+
+let gen_random_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 8 in
+    let* nclauses = int_range 1 30 in
+    let* clauses =
+      list_repeat nclauses
+        (let* width = int_range 1 4 in
+         list_repeat width
+           (let* v = int_range 0 (nvars - 1) in
+            let* sign = bool in
+            return (Lit.make v sign)))
+    in
+    return (nvars, clauses))
+
+let build (nvars, clauses) =
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf nvars;
+  List.iter (Cnf.add_clause cnf) clauses;
+  cnf
+
+let prop_cdcl_matches_brute_force =
+  QCheck2.Test.make ~count:500 ~name:"CDCL agrees with brute force"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let expected = brute_force cnf <> None in
+      let got, _ = Solver.solve cnf in
+      expected = solver_result_is_sat got)
+
+let prop_cdcl_models_check =
+  QCheck2.Test.make ~count:500 ~name:"CDCL models satisfy the formula"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      match Solver.solve cnf with
+      | Solver.Sat m, _ -> Solver.check_model cnf m
+      | Solver.Unsat, _ -> true
+      | Solver.Unknown, _ -> false)
+
+let prop_cdcl_matches_dpll =
+  QCheck2.Test.make ~count:500 ~name:"CDCL agrees with DPLL" gen_random_cnf
+    (fun input ->
+      let cnf = build input in
+      let cdcl = solver_result_is_sat (fst (Solver.solve cnf)) in
+      match Dpll.solve cnf with
+      | Dpll.Sat m -> cdcl && Solver.check_model cnf m
+      | Dpll.Unsat -> not cdcl
+      | Dpll.Unknown -> false)
+
+let prop_presets_agree =
+  QCheck2.Test.make ~count:200 ~name:"solver presets agree" gen_random_cnf
+    (fun input ->
+      let cnf = build input in
+      let a = solver_result_is_sat (fst (Solver.solve ~config:Solver.minisat_like cnf)) in
+      let b = solver_result_is_sat (fst (Solver.solve ~config:Solver.siege_like cnf)) in
+      a = b)
+
+let prop_unsat_proofs_end_empty =
+  QCheck2.Test.make ~count:200 ~name:"UNSAT answers carry a refutation trace"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let proof = Proof.create () in
+      match Solver.solve ~proof cnf with
+      | Solver.Unsat, _ -> Proof.ends_with_empty proof
+      | Solver.Sat _, _ | Solver.Unknown, _ -> true)
+
+let prop_dimacs_roundtrip =
+  QCheck2.Test.make ~count:200 ~name:"DIMACS write/parse is identity"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let cnf' = Dimacs.parse_string (Dimacs.to_string cnf) in
+      Cnf.num_vars cnf = Cnf.num_vars cnf'
+      && List.map Array.to_list (Cnf.clauses cnf)
+         = List.map Array.to_list (Cnf.clauses cnf'))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "sat"
+    [
+      ( "lit",
+        [
+          Alcotest.test_case "dimacs roundtrip" `Quick test_lit_roundtrip;
+          Alcotest.test_case "operations" `Quick test_lit_ops;
+          Alcotest.test_case "of_dimacs 0 rejected" `Quick test_lit_of_dimacs_zero;
+        ] );
+      ( "cnf",
+        [
+          Alcotest.test_case "tautology dropped" `Quick test_cnf_tautology_dropped;
+          Alcotest.test_case "duplicates removed" `Quick test_cnf_duplicates_removed;
+          Alcotest.test_case "unallocated var rejected" `Quick
+            test_cnf_unallocated_var_rejected;
+          Alcotest.test_case "fresh vars" `Quick test_cnf_fresh_vars;
+          Alcotest.test_case "copy independent" `Quick test_cnf_copy_independent;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_dimacs_errors;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_dimacs_comments_and_blanks;
+        ] );
+      ( "luby",
+        Alcotest.test_case "prefix" `Quick test_luby_prefix
+        :: Alcotest.test_case "negative rejected" `Quick test_luby_negative_rejected
+        :: List.map QCheck_alcotest.to_alcotest [ prop_luby_structure ] );
+      ( "heap",
+        [
+          Alcotest.test_case "order" `Quick test_heap_order;
+          Alcotest.test_case "rescore" `Quick test_heap_rescore;
+        ] );
+      ("vec", [ Alcotest.test_case "basics" `Quick test_vec_basics ]);
+      ( "solver",
+        [
+          Alcotest.test_case "empty formula" `Quick test_solver_empty_formula;
+          Alcotest.test_case "empty clause" `Quick test_solver_empty_clause;
+          Alcotest.test_case "unit conflict" `Quick test_solver_unit_conflict;
+          Alcotest.test_case "simple sat" `Quick test_solver_simple_sat;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_solver_php_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_solver_php_sat;
+          Alcotest.test_case "budget gives Unknown" `Quick test_solver_budget_unknown;
+          Alcotest.test_case "proof ends empty" `Quick test_solver_proof_ends_empty;
+          Alcotest.test_case "drat text output" `Quick test_solver_proof_drat_text;
+          Alcotest.test_case "presets agree" `Quick test_solver_both_presets_agree;
+          Alcotest.test_case "wide clauses" `Quick test_solver_wide_clauses;
+          Alcotest.test_case "deterministic" `Quick test_solver_deterministic;
+        ] );
+      qsuite "solver-properties"
+        [
+          prop_cdcl_matches_brute_force;
+          prop_cdcl_models_check;
+          prop_cdcl_matches_dpll;
+          prop_presets_agree;
+          prop_unsat_proofs_end_empty;
+          prop_dimacs_roundtrip;
+        ];
+    ]

@@ -1,0 +1,375 @@
+(* Tests for the SAT extras: the DRAT forward checker, the CNF
+   preprocessor, and WalkSAT — each cross-checked against the CDCL solver
+   and brute force on random formulas. *)
+
+module Lit = Fpgasat_sat.Lit
+module Cnf = Fpgasat_sat.Cnf
+module Solver = Fpgasat_sat.Solver
+module Proof = Fpgasat_sat.Proof
+module Drat = Fpgasat_sat.Drat_check
+module Simplify = Fpgasat_sat.Simplify
+module Walksat = Fpgasat_sat.Walksat
+
+let cnf_of nvars clauses =
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf nvars;
+  List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) clauses;
+  cnf
+
+let brute_force cnf =
+  let n = Cnf.num_vars cnf in
+  assert (n <= 16);
+  let clauses = Cnf.clauses cnf in
+  let sat_under m =
+    List.for_all
+      (fun lits ->
+        Array.exists
+          (fun l -> (m lsr Lit.var l) land 1 = if Lit.sign l then 1 else 0)
+          lits)
+      clauses
+  in
+  let rec go m = if m >= 1 lsl n then false else sat_under m || go (m + 1) in
+  go 0
+
+let gen_random_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 8 in
+    let* nclauses = int_range 1 30 in
+    let* clauses =
+      list_repeat nclauses
+        (let* width = int_range 1 4 in
+         list_repeat width
+           (let* v = int_range 0 (nvars - 1) in
+            let* sign = bool in
+            return (Lit.make v sign)))
+    in
+    return (nvars, clauses))
+
+let build (nvars, clauses) =
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf nvars;
+  List.iter (Cnf.add_clause cnf) clauses;
+  cnf
+
+let php pigeons holes =
+  let cnf = Cnf.create () in
+  let v = Array.init pigeons (fun _ -> Cnf.fresh_vars cnf holes) in
+  for p = 0 to pigeons - 1 do
+    Cnf.add_clause cnf (Array.to_list (Array.map Lit.pos v.(p)))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Cnf.add_clause cnf [ Lit.neg_of v.(p1).(h); Lit.neg_of v.(p2).(h) ]
+      done
+    done
+  done;
+  cnf
+
+(* --- Drat_check --- *)
+
+let test_drat_accepts_php_proof () =
+  let cnf = php 5 4 in
+  let proof = Proof.create () in
+  (match Solver.solve ~proof cnf with
+  | Solver.Unsat, _ -> ()
+  | _ -> Alcotest.fail "PHP 5/4 is UNSAT");
+  match Drat.check cnf proof with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Drat.pp_error e)
+
+let test_drat_rejects_bogus_addition () =
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
+  let proof = Proof.create () in
+  Proof.add proof [ Lit.pos 0 ];
+  (* not implied by unit propagation *)
+  Proof.add proof [];
+  match Drat.check cnf proof with
+  | Error { reason; _ } ->
+      Alcotest.(check bool) "complains about RUP" true
+        (reason = "added clause is not RUP")
+  | Ok () -> Alcotest.fail "bogus proof accepted"
+
+let test_drat_rejects_missing_empty () =
+  let cnf = cnf_of 2 [ [ 1 ]; [ -1 ] ] in
+  let proof = Proof.create () in
+  (* the empty clause IS derivable, but the trace never adds it *)
+  match Drat.check cnf proof with
+  | Error { reason; _ } ->
+      Alcotest.(check bool) "mentions empty clause" true
+        (reason = "trace does not derive the empty clause")
+  | Ok () -> Alcotest.fail "incomplete trace accepted"
+
+let test_drat_rejects_bad_deletion () =
+  let cnf = cnf_of 2 [ [ 1; 2 ] ] in
+  let proof = Proof.create () in
+  Proof.delete proof [ Lit.pos 0; Lit.neg_of 1 ];
+  match Drat.check cnf proof with
+  | Error { reason; _ } ->
+      Alcotest.(check bool) "mentions deletion" true
+        (reason = "deletion of a clause not present")
+  | Ok () -> Alcotest.fail "bad deletion accepted"
+
+let test_is_rup () =
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ -2; 3 ] ] in
+  (* asserting -1 forces 2, which forces 3, so (1 | 3) is RUP *)
+  Alcotest.(check bool) "implied clause" true
+    (Drat.is_rup cnf [ Lit.pos 0; Lit.pos 2 ]);
+  Alcotest.(check bool) "unrelated clause" false
+    (Drat.is_rup cnf [ Lit.pos 0 ])
+
+let prop_drat_checks_solver_proofs =
+  QCheck2.Test.make ~count:300 ~name:"solver refutations pass the DRAT checker"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let proof = Proof.create () in
+      match Solver.solve ~proof cnf with
+      | Solver.Unsat, _ -> Result.is_ok (Drat.check cnf proof)
+      | (Solver.Sat _ | Solver.Unknown), _ -> true)
+
+(* --- Simplify --- *)
+
+let test_simplify_units () =
+  let cnf = cnf_of 3 [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ] ] in
+  let r = Simplify.simplify cnf in
+  Alcotest.(check bool) "not unsat" false r.Simplify.unsat;
+  Alcotest.(check int) "all clauses gone" 0 (Cnf.num_clauses r.Simplify.cnf);
+  Alcotest.(check (list (pair int bool)))
+    "forced chain"
+    [ (0, true); (1, true); (2, true) ]
+    r.Simplify.forced
+
+let test_simplify_detects_unsat () =
+  let cnf = cnf_of 2 [ [ 1 ]; [ -1; 2 ]; [ -2 ] ] in
+  let r = Simplify.simplify cnf in
+  Alcotest.(check bool) "unsat found" true r.Simplify.unsat
+
+let test_simplify_pure_literals () =
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ 1; 3 ] ] in
+  let r = Simplify.simplify cnf in
+  Alcotest.(check bool) "pure 1 satisfies all" true
+    (Cnf.num_clauses r.Simplify.cnf = 0);
+  Alcotest.(check bool) "recorded as forced" true
+    (List.mem (0, true) r.Simplify.forced)
+
+let test_simplify_subsumption () =
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ 1; 2; 3 ] ] in
+  let r = Simplify.simplify cnf in
+  Alcotest.(check bool) "subsumed or fewer clauses" true
+    (Cnf.num_clauses r.Simplify.cnf <= 1)
+
+let test_simplify_self_subsumption () =
+  (* (1 | 2) and (-1 | 2 | 3): self-subsumption strengthens the second to
+     (2 | 3) *)
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ -1; 2; 3 ] ] in
+  let r = Simplify.simplify cnf in
+  Alcotest.(check bool) "strengthened" true (r.Simplify.stats.Simplify.strengthened >= 1)
+
+let prop_simplify_preserves_answer =
+  QCheck2.Test.make ~count:500 ~name:"preprocessing preserves satisfiability"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let expected = brute_force cnf in
+      let result, _, _ = Simplify.solve cnf in
+      match result with
+      | Solver.Sat model -> expected && Solver.check_model cnf model
+      | Solver.Unsat -> not expected
+      | Solver.Unknown -> false)
+
+let prop_simplify_models_extend =
+  QCheck2.Test.make ~count:500 ~name:"extended models satisfy the original"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let r = Simplify.simplify cnf in
+      if r.Simplify.unsat then not (brute_force cnf)
+      else
+        match Solver.solve r.Simplify.cnf with
+        | Solver.Sat m, _ -> Solver.check_model cnf (Simplify.extend_model r m)
+        | Solver.Unsat, _ -> not (brute_force cnf)
+        | Solver.Unknown, _ -> false)
+
+let prop_simplify_never_grows =
+  QCheck2.Test.make ~count:300 ~name:"preprocessing never adds clauses"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let r = Simplify.simplify cnf in
+      r.Simplify.unsat || Cnf.num_clauses r.Simplify.cnf <= Cnf.num_clauses cnf)
+
+(* --- incremental solving with assumptions --- *)
+
+let gen_assumptions nvars =
+  QCheck2.Gen.(
+    let* n = int_range 0 (min 4 nvars) in
+    list_repeat n
+      (let* v = int_range 0 (nvars - 1) in
+       let* sign = bool in
+       return (Lit.make v sign)))
+
+let prop_assumptions_match_unit_clauses =
+  QCheck2.Test.make ~count:400
+    ~name:"solve_with assumptions = solve with unit clauses"
+    QCheck2.Gen.(
+      gen_random_cnf >>= fun ((nvars, _) as input) ->
+      pair (return input) (gen_assumptions nvars))
+    (fun (input, assumptions) ->
+      let cnf = build input in
+      let solver = Solver.create cnf in
+      let incremental = Solver.solve_with ~assumptions solver in
+      let augmented = build input in
+      List.iter (fun l -> Fpgasat_sat.Cnf.add_clause augmented [ l ]) assumptions;
+      let reference = fst (Solver.solve augmented) in
+      match (incremental, reference) with
+      | Solver.Q_sat m, Solver.Sat _ ->
+          Solver.check_model augmented m
+          && List.for_all
+               (fun l -> m.(Lit.var l) = Lit.sign l)
+               assumptions
+      | Solver.Q_unsat, Solver.Unsat -> true
+      | _ -> false)
+
+let prop_solver_reusable_across_queries =
+  QCheck2.Test.make ~count:200
+    ~name:"one solver answers a query sequence consistently"
+    QCheck2.Gen.(
+      gen_random_cnf >>= fun ((nvars, _) as input) ->
+      pair (return input)
+        (list_repeat 4 (gen_assumptions nvars)))
+    (fun (input, queries) ->
+      let cnf = build input in
+      let solver = Solver.create cnf in
+      List.for_all
+        (fun assumptions ->
+          let incremental = Solver.solve_with ~assumptions solver in
+          let augmented = build input in
+          List.iter
+            (fun l -> Fpgasat_sat.Cnf.add_clause augmented [ l ])
+            assumptions;
+          match (incremental, fst (Solver.solve augmented)) with
+          | Solver.Q_sat m, Solver.Sat _ -> Solver.check_model augmented m
+          | Solver.Q_unsat, Solver.Unsat -> true
+          | _ -> false)
+        queries)
+
+let test_assumptions_out_of_range_rejected () =
+  let cnf = cnf_of 1 [ [ 1 ] ] in
+  let solver = Solver.create cnf in
+  Alcotest.check_raises "oob assumption"
+    (Invalid_argument "Solver.solve_with: assumption variable out of range")
+    (fun () -> ignore (Solver.solve_with ~assumptions:[ Lit.pos 9 ] solver))
+
+let test_solver_stats_accumulate () =
+  let cnf = php 6 5 in
+  let solver = Solver.create cnf in
+  (match Solver.solve_with solver with
+  | Solver.Q_unsat -> ()
+  | _ -> Alcotest.fail "PHP 6/5 is UNSAT");
+  let after_first = (Solver.solver_stats solver).Fpgasat_sat.Stats.conflicts in
+  (* the second call hits st.ok = false immediately *)
+  (match Solver.solve_with solver with
+  | Solver.Q_unsat -> ()
+  | _ -> Alcotest.fail "still UNSAT");
+  let after_second = (Solver.solver_stats solver).Fpgasat_sat.Stats.conflicts in
+  Alcotest.(check bool) "first call worked" true (after_first > 0);
+  Alcotest.(check int) "second call free" after_first after_second
+
+(* --- WalkSAT --- *)
+
+let test_walksat_finds_model () =
+  let cnf = cnf_of 4 [ [ 1; 2 ]; [ -1; 3 ]; [ -3; 4 ]; [ -2; -4; 1 ] ] in
+  match Walksat.solve cnf with
+  | Walksat.Sat m, flips ->
+      Alcotest.(check bool) "model checks" true (Solver.check_model cnf m);
+      Alcotest.(check bool) "flips counted" true (flips >= 0)
+  | Walksat.Unknown, _ -> Alcotest.fail "trivially satisfiable formula missed"
+
+let test_walksat_php_sat () =
+  let cnf = php 6 6 in
+  match Walksat.solve cnf with
+  | Walksat.Sat m, _ ->
+      Alcotest.(check bool) "model checks" true (Solver.check_model cnf m)
+  | Walksat.Unknown, _ -> Alcotest.fail "PHP 6/6 is satisfiable"
+
+let test_walksat_gives_up_on_unsat () =
+  let cnf = cnf_of 1 [ [ 1 ]; [ -1 ] ] in
+  let params = { Walksat.default_params with max_tries = 2; max_flips = 100 } in
+  match Walksat.solve ~params cnf with
+  | Walksat.Unknown, _ -> ()
+  | Walksat.Sat _, _ -> Alcotest.fail "found a model of an UNSAT formula"
+
+let test_walksat_empty_clause () =
+  let cnf = Cnf.create () in
+  Cnf.add_clause cnf [];
+  match Walksat.solve cnf with
+  | Walksat.Unknown, 0 -> ()
+  | _ -> Alcotest.fail "empty clause must give Unknown immediately"
+
+let test_walksat_deterministic () =
+  let cnf = php 5 5 in
+  let r1 = Walksat.solve cnf and r2 = Walksat.solve cnf in
+  Alcotest.(check bool) "same flip count" true (snd r1 = snd r2)
+
+let quick_params =
+  { Walksat.default_params with Walksat.max_tries = 3; max_flips = 5_000 }
+
+let prop_walksat_models_valid =
+  QCheck2.Test.make ~count:300 ~name:"WalkSAT models satisfy the formula"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      match Walksat.solve ~params:quick_params cnf with
+      | Walksat.Sat m, _ -> Solver.check_model cnf m
+      | Walksat.Unknown, _ -> true)
+
+let prop_walksat_agrees_when_sat =
+  QCheck2.Test.make ~count:200 ~name:"WalkSAT finds models of easy SAT formulas"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      (* on <=8 vars, the default budget makes WalkSAT essentially complete
+         for satisfiable formulas *)
+      if brute_force cnf then
+        match Walksat.solve ~params:quick_params cnf with
+        | Walksat.Sat _, _ -> true
+        | Walksat.Unknown, _ -> false
+      else true)
+
+let qtests = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sat-extras"
+    [
+      ( "drat-check",
+        Alcotest.test_case "accepts PHP proof" `Quick test_drat_accepts_php_proof
+        :: Alcotest.test_case "rejects bogus addition" `Quick
+             test_drat_rejects_bogus_addition
+        :: Alcotest.test_case "rejects missing empty clause" `Quick
+             test_drat_rejects_missing_empty
+        :: Alcotest.test_case "rejects bad deletion" `Quick
+             test_drat_rejects_bad_deletion
+        :: Alcotest.test_case "is_rup" `Quick test_is_rup
+        :: qtests [ prop_drat_checks_solver_proofs ] );
+      ( "simplify",
+        Alcotest.test_case "unit chain" `Quick test_simplify_units
+        :: Alcotest.test_case "detects unsat" `Quick test_simplify_detects_unsat
+        :: Alcotest.test_case "pure literals" `Quick test_simplify_pure_literals
+        :: Alcotest.test_case "subsumption" `Quick test_simplify_subsumption
+        :: Alcotest.test_case "self-subsumption" `Quick test_simplify_self_subsumption
+        :: qtests
+             [
+               prop_simplify_preserves_answer;
+               prop_simplify_models_extend;
+               prop_simplify_never_grows;
+             ] );
+      ( "assumptions",
+        Alcotest.test_case "out of range rejected" `Quick
+          test_assumptions_out_of_range_rejected
+        :: Alcotest.test_case "stats accumulate" `Quick test_solver_stats_accumulate
+        :: qtests
+             [ prop_assumptions_match_unit_clauses; prop_solver_reusable_across_queries ]
+      );
+      ( "walksat",
+        Alcotest.test_case "finds a model" `Quick test_walksat_finds_model
+        :: Alcotest.test_case "php sat" `Quick test_walksat_php_sat
+        :: Alcotest.test_case "gives up on unsat" `Quick test_walksat_gives_up_on_unsat
+        :: Alcotest.test_case "empty clause" `Quick test_walksat_empty_clause
+        :: Alcotest.test_case "deterministic" `Quick test_walksat_deterministic
+        :: qtests [ prop_walksat_models_valid; prop_walksat_agrees_when_sat ] );
+    ]
