@@ -36,8 +36,9 @@ let budget_seconds = ref 30.
 let sections = ref
     "table1,figure1,table2,routable,solvers,portfolio,ablations,baselines,extensions,incremental,channel"
 let with_bechamel = ref false
+let encode_bench_only = ref false
 
-let usage = "main.exe [--budget SEC] [--sections a,b,c] [--bechamel]"
+let usage = "main.exe [--budget SEC] [--sections a,b,c] [--bechamel] [--encode-bench]"
 
 let arg_spec =
   [
@@ -46,6 +47,9 @@ let arg_spec =
       Arg.Set_string sections,
       "LIST comma-separated sections (default: all paper sections)" );
     ("--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks");
+    ( "--encode-bench",
+      Arg.Set encode_bench_only,
+      " print encode+load throughput JSON for the largest configuration and exit" );
   ]
 
 let section_enabled name = List.mem name (String.split_on_char ',' !sections)
@@ -107,13 +111,12 @@ let cell_text c =
 (* Table 1                                                             *)
 
 let clause_strings cnf =
-  Sat.Cnf.clauses cnf
-  |> List.map (fun arr ->
-         "("
-         ^ String.concat " | "
-             (Array.to_list arr
-             |> List.map (fun l -> string_of_int (Sat.Lit.to_dimacs l)))
-         ^ ")")
+  List.rev
+    (Sat.Cnf.fold_clauses cnf ~init:[] ~f:(fun acc arena off len ->
+         let lits =
+           List.init len (fun k -> string_of_int (Sat.Lit.to_dimacs arena.(off + k)))
+         in
+         ("(" ^ String.concat " | " lits ^ ")") :: acc))
 
 let section_table1 () =
   print_string
@@ -715,9 +718,50 @@ let section_bechamel () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Encode+load throughput on the largest bundled configuration          *)
+
+(* Single-line JSON for BENCH_encode.json trajectory tracking: wall time to
+   emit the CNF into the arena, wall time to load it into the CDCL solver,
+   and words allocated across one encode+load pass. *)
+let section_encode_bench () =
+  let spec = Option.get (F.Benchmarks.find "vda") in
+  let inst = F.Benchmarks.build spec in
+  let graph = inst.F.Benchmarks.graph in
+  let k = inst.F.Benchmarks.max_congestion in
+  let enc = encoding "direct" in
+  let csp = E.Csp.make graph ~k in
+  let encode_once () = E.Csp_encode.encode enc csp in
+  let time_best f =
+    let best = ref infinity and out = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      out := Some r
+    done;
+    (Option.get !out, !best)
+  in
+  let encoded, encode_s = time_best encode_once in
+  let cnf = encoded.E.Csp_encode.cnf in
+  let _, load_s = time_best (fun () -> Sat.Solver.create cnf) in
+  let bytes0 = Gc.allocated_bytes () in
+  let encoded' = encode_once () in
+  let solver = Sat.Solver.create encoded'.E.Csp_encode.cnf in
+  let bytes1 = Gc.allocated_bytes () in
+  ignore (Sat.Solver.solver_stats solver);
+  let words_alloc = int_of_float ((bytes1 -. bytes0) /. 8.) in
+  Printf.printf
+    "{\"vars\":%d,\"clauses\":%d,\"lits\":%d,\"encode_s\":%.6f,\"load_s\":%.6f,\"words_alloc\":%d}\n"
+    (Sat.Cnf.num_vars cnf) (Sat.Cnf.num_clauses cnf) (Sat.Cnf.num_lits cnf)
+    encode_s load_s words_alloc
 
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  if !encode_bench_only then begin
+    section_encode_bench ();
+    exit 0
+  end;
   let t0 = Unix.gettimeofday () in
   Printf.printf
     "fpgasat benchmark harness — reproduction of Velev & Gao, DATE 2008\n\

@@ -22,21 +22,38 @@ let build encoding channel connections =
   let conns = Array.of_list connections in
   let n = Array.length conns in
   Sat.Cnf.ensure_vars cnf (n * nslots);
-  let lits_of i pattern =
-    List.map (fun (s, pol) -> Sat.Lit.make ((i * nslots) + s) pol) pattern
+  (* clause emission pushes literals straight into the arena builder;
+     no per-clause lists or [@] concatenations *)
+  let push i pattern =
+    List.iter
+      (fun (s, pol) -> Sat.Cnf.push_lit cnf (Sat.Lit.make ((i * nslots) + s) pol))
+      pattern
   in
-  let negated i pattern = List.map Sat.Lit.negate (lits_of i pattern) in
+  let push_negated i pattern =
+    List.iter
+      (fun (s, pol) ->
+        Sat.Cnf.push_lit cnf (Sat.Lit.make ((i * nslots) + s) (not pol)))
+      pattern
+  in
   (* per-connection side clauses *)
   for i = 0 to n - 1 do
-    List.iter (fun clause -> Sat.Cnf.add_clause cnf (lits_of i clause)) layout.E.Layout.side
+    List.iter
+      (fun clause ->
+        Sat.Cnf.start_clause cnf;
+        push i clause;
+        Sat.Cnf.commit_clause cnf)
+      layout.E.Layout.side
   done;
   (* forbid infeasible tracks *)
   Array.iteri
     (fun i c ->
       let feasible = Segmented_channel.feasible_tracks channel c in
       for track = 0 to k - 1 do
-        if not (List.mem track feasible) then
-          Sat.Cnf.add_clause cnf (negated i layout.E.Layout.patterns.(track))
+        if not (List.mem track feasible) then begin
+          Sat.Cnf.start_clause cnf;
+          push_negated i layout.E.Layout.patterns.(track);
+          Sat.Cnf.commit_clause cnf
+        end
       done)
     conns;
   (* per-track conflicts for pairs sharing a segment there *)
@@ -44,10 +61,12 @@ let build encoding channel connections =
     for j = i + 1 to n - 1 do
       for track = 0 to k - 1 do
         if Segmented_channel.conflict_on_track channel conns.(i) conns.(j) ~track
-        then
-          Sat.Cnf.add_clause cnf
-            (negated i layout.E.Layout.patterns.(track)
-            @ negated j layout.E.Layout.patterns.(track))
+        then begin
+          Sat.Cnf.start_clause cnf;
+          push_negated i layout.E.Layout.patterns.(track);
+          push_negated j layout.E.Layout.patterns.(track);
+          Sat.Cnf.commit_clause cnf
+        end
       done
     done
   done;

@@ -18,14 +18,19 @@ let minimal_colors ?(strategy = Strategy.best_single)
     E.Csp_encode.encode ?symmetry:strategy.Strategy.symmetry
       strategy.Strategy.encoding csp
   in
+  (* the selector-augmented formula starts as a flat arena copy of the
+     encoded CNF (a blit, not a clause-by-clause rebuild) *)
   let cnf = Sat.Cnf.copy encoded.E.Csp_encode.cnf in
   (* one selector per colour: assuming it switches the colour off *)
   let selectors = Array.init upper (fun _ -> Sat.Cnf.fresh_var cnf) in
   for v = 0 to G.Graph.num_vertices graph - 1 do
     for c = 0 to upper - 1 do
-      Sat.Cnf.add_clause cnf
-        (Sat.Lit.neg_of selectors.(c)
-        :: List.map Sat.Lit.negate (E.Csp_encode.pattern_lits encoded v c))
+      Sat.Cnf.start_clause cnf;
+      Sat.Cnf.push_lit cnf (Sat.Lit.neg_of selectors.(c));
+      List.iter
+        (fun l -> Sat.Cnf.push_lit cnf (Sat.Lit.negate l))
+        (E.Csp_encode.pattern_lits encoded v c);
+      Sat.Cnf.commit_clause cnf
     done
   done;
   let solver = Sat.Solver.create ~config:strategy.Strategy.solver cnf in

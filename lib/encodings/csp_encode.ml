@@ -18,8 +18,19 @@ let lits_of_pattern t v pattern =
 
 let pattern_lits t v value = lits_of_pattern t v t.layout.Layout.patterns.(value)
 
-let negated t v pattern =
-  List.map Sat.Lit.negate (lits_of_pattern t v pattern)
+(* Emission goes through the Cnf clause builder: literals are pushed into
+   the arena's scratch buffer directly, so no intermediate lists (or the
+   [@] concatenations the conflict clauses used to pay for) are built. *)
+let push_pattern t v pattern =
+  List.iter
+    (fun (s, pol) -> Sat.Cnf.push_lit t.cnf (Sat.Lit.make (boolean_var t v s) pol))
+    pattern
+
+let push_negated t v pattern =
+  List.iter
+    (fun (s, pol) ->
+      Sat.Cnf.push_lit t.cnf (Sat.Lit.make (boolean_var t v s) (not pol)))
+    pattern
 
 let encode ?symmetry encoding csp =
   let layout = Encoding.layout encoding csp.Csp.k in
@@ -30,7 +41,10 @@ let encode ?symmetry encoding csp =
   (* per-variable side clauses *)
   for v = 0 to n - 1 do
     List.iter
-      (fun clause -> Sat.Cnf.add_clause cnf (lits_of_pattern t v clause))
+      (fun clause ->
+        Sat.Cnf.start_clause cnf;
+        push_pattern t v clause;
+        Sat.Cnf.commit_clause cnf)
       layout.Layout.side
   done;
   (* conflict clauses: one per edge per common domain value *)
@@ -38,7 +52,10 @@ let encode ?symmetry encoding csp =
     (fun u v ->
       for value = 0 to csp.Csp.k - 1 do
         let p = layout.Layout.patterns.(value) in
-        Sat.Cnf.add_clause cnf (negated t u p @ negated t v p)
+        Sat.Cnf.start_clause cnf;
+        push_negated t u p;
+        push_negated t v p;
+        Sat.Cnf.commit_clause cnf
       done)
     t.csp.Csp.graph;
   (* symmetry-breaking clauses *)
@@ -47,7 +64,9 @@ let encode ?symmetry encoding csp =
   | Some h ->
       List.iter
         (fun (v, colour) ->
-          Sat.Cnf.add_clause cnf (negated t v layout.Layout.patterns.(colour)))
+          Sat.Cnf.start_clause cnf;
+          push_negated t v layout.Layout.patterns.(colour);
+          Sat.Cnf.commit_clause cnf)
         (Symmetry.forbidden h csp.Csp.graph ~k:csp.Csp.k));
   t
 

@@ -1,11 +1,33 @@
+(* Clauses live in one flat literal arena: [lits.(offs.(i)) ..
+   lits.(offs.(i) + lens.(i) - 1)] are clause [i]'s literals. The arena is
+   append-only and packed (offsets are ascending, [nlits] is the fill
+   pointer), which makes whole-formula copies and appends plain blits and
+   lets every consumer iterate without re-materialising clause arrays. *)
+
 type t = {
   mutable nvars : int;
+  mutable lits : int array; (* packed literal arena, filled to [nlits] *)
   mutable nlits : int;
-  clauses : Lit.t array Vec.t;
+  mutable offs : int array; (* clause -> start offset, filled to [nclauses] *)
+  mutable lens : int array; (* clause -> literal count *)
+  mutable nclauses : int;
+  mutable scratch : int array; (* clause under construction *)
+  mutable slen : int;
 }
 
-let create () =
-  { nvars = 0; nlits = 0; clauses = Vec.create ~dummy:[||] () }
+type view = { arena : int array; off : int; len : int }
+
+let create ?(capacity = 256) () =
+  {
+    nvars = 0;
+    lits = Array.make (max capacity 16) 0;
+    nlits = 0;
+    offs = Array.make 64 0;
+    lens = Array.make 64 0;
+    nclauses = 0;
+    scratch = Array.make 16 0;
+    slen = 0;
+  }
 
 let fresh_var t =
   let v = t.nvars in
@@ -14,42 +36,160 @@ let fresh_var t =
 
 let fresh_vars t n = Array.init n (fun _ -> fresh_var t)
 let num_vars t = t.nvars
-let num_clauses t = Vec.size t.clauses
+let num_clauses t = t.nclauses
+let num_lits t = t.nlits
 let ensure_vars t n = if n > t.nvars then t.nvars <- n
 
-(* Sort, dedupe, and detect tautologies; complementary literals are adjacent
-   after sorting because they share the variable part of the encoding. *)
-let normalise lits =
-  let sorted = List.sort_uniq Lit.compare lits in
-  let rec tauto = function
-    | a :: (b :: _ as rest) ->
-        (a lxor b) = 1 || tauto rest
-    | [ _ ] | [] -> false
-  in
-  if tauto sorted then None else Some sorted
+let reserve_lits t extra =
+  let cap = Array.length t.lits in
+  if t.nlits + extra > cap then begin
+    let cap' = ref (2 * cap) in
+    while t.nlits + extra > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let a = Array.make !cap' 0 in
+    Array.blit t.lits 0 a 0 t.nlits;
+    t.lits <- a
+  end
+
+let reserve_clauses t extra =
+  let cap = Array.length t.offs in
+  if t.nclauses + extra > cap then begin
+    let cap' = ref (2 * cap) in
+    while t.nclauses + extra > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let o = Array.make !cap' 0 and l = Array.make !cap' 0 in
+    Array.blit t.offs 0 o 0 t.nclauses;
+    Array.blit t.lens 0 l 0 t.nclauses;
+    t.offs <- o;
+    t.lens <- l
+  end
+
+(* --- clause builder ---------------------------------------------------- *)
+
+let start_clause t = t.slen <- 0
+
+let push_lit t l =
+  if Lit.var l < 0 || Lit.var l >= t.nvars then
+    invalid_arg "Cnf.add_clause: unallocated variable";
+  if t.slen = Array.length t.scratch then begin
+    let a = Array.make (2 * t.slen) 0 in
+    Array.blit t.scratch 0 a 0 t.slen;
+    t.scratch <- a
+  end;
+  t.scratch.(t.slen) <- l;
+  t.slen <- t.slen + 1
+
+(* Sort the scratch segment in place (insertion sort: clauses are short),
+   dedupe, and detect tautologies; complementary literals are adjacent after
+   sorting because they share the variable part of the encoding. No
+   intermediate list or array is allocated. *)
+let commit_clause t =
+  let s = t.scratch in
+  let n = t.slen in
+  for i = 1 to n - 1 do
+    let x = s.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && s.(!j) > x do
+      s.(!j + 1) <- s.(!j);
+      decr j
+    done;
+    s.(!j + 1) <- x
+  done;
+  let m = ref 0 in
+  let tauto = ref false in
+  for i = 0 to n - 1 do
+    if !m = 0 || s.(i) <> s.(!m - 1) then begin
+      if !m > 0 && s.(i) lxor s.(!m - 1) = 1 then tauto := true;
+      s.(!m) <- s.(i);
+      incr m
+    end
+  done;
+  t.slen <- 0;
+  if not !tauto then begin
+    let len = !m in
+    reserve_lits t len;
+    Array.blit s 0 t.lits t.nlits len;
+    reserve_clauses t 1;
+    t.offs.(t.nclauses) <- t.nlits;
+    t.lens.(t.nclauses) <- len;
+    t.nclauses <- t.nclauses + 1;
+    t.nlits <- t.nlits + len
+  end
 
 let add_clause t lits =
-  List.iter
-    (fun l ->
-      if Lit.var l < 0 || Lit.var l >= t.nvars then
-        invalid_arg "Cnf.add_clause: unallocated variable")
-    lits;
-  match normalise lits with
-  | None -> ()
-  | Some lits ->
-      let arr = Array.of_list lits in
-      t.nlits <- t.nlits + Array.length arr;
-      Vec.push t.clauses arr
+  start_clause t;
+  List.iter (fun l -> push_lit t l) lits;
+  commit_clause t
 
-let clauses t = List.map Array.copy (Vec.to_list t.clauses)
-let iter_clauses f t = Vec.iter f t.clauses
+(* --- zero-copy access -------------------------------------------------- *)
+
+let lits_array t = t.lits
+
+let clause_off t i =
+  if i < 0 || i >= t.nclauses then invalid_arg "Cnf.clause_off";
+  t.offs.(i)
+
+let clause_len t i =
+  if i < 0 || i >= t.nclauses then invalid_arg "Cnf.clause_len";
+  t.lens.(i)
+
+let clause_lit t i k =
+  if i < 0 || i >= t.nclauses then invalid_arg "Cnf.clause_lit";
+  if k < 0 || k >= t.lens.(i) then invalid_arg "Cnf.clause_lit";
+  t.lits.(t.offs.(i) + k)
+
+let get_clause t i =
+  if i < 0 || i >= t.nclauses then invalid_arg "Cnf.get_clause";
+  { arena = t.lits; off = t.offs.(i); len = t.lens.(i) }
+
+let view_len v = v.len
+
+let view_get v k =
+  if k < 0 || k >= v.len then invalid_arg "Cnf.view_get";
+  v.arena.(v.off + k)
+
+let view_to_array v = Array.sub v.arena v.off v.len
+
+let view_to_list v =
+  let rec go k acc = if k < v.off then acc else go (k - 1) (v.arena.(k) :: acc) in
+  go (v.off + v.len - 1) []
+
+let iter_clauses' t ~f =
+  for i = 0 to t.nclauses - 1 do
+    f t.lits t.offs.(i) t.lens.(i)
+  done
+
+let fold_clauses t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.nclauses - 1 do
+    acc := f !acc t.lits t.offs.(i) t.lens.(i)
+  done;
+  !acc
+
+(* --- bulk operations --------------------------------------------------- *)
+
+let append dst src =
+  if src.nvars > dst.nvars then dst.nvars <- src.nvars;
+  reserve_lits dst src.nlits;
+  Array.blit src.lits 0 dst.lits dst.nlits src.nlits;
+  reserve_clauses dst src.nclauses;
+  let base = dst.nlits in
+  for i = 0 to src.nclauses - 1 do
+    dst.offs.(dst.nclauses + i) <- src.offs.(i) + base;
+    dst.lens.(dst.nclauses + i) <- src.lens.(i)
+  done;
+  dst.nclauses <- dst.nclauses + src.nclauses;
+  dst.nlits <- dst.nlits + src.nlits
 
 let copy t =
-  let c = create () in
-  c.nvars <- t.nvars;
-  c.nlits <- t.nlits;
-  iter_clauses (fun arr -> Vec.push c.clauses (Array.copy arr)) t;
+  let c = create ~capacity:(max t.nlits 16) () in
+  append c t;
   c
 
+let live_words t =
+  Array.length t.lits + (2 * Array.length t.offs) + Array.length t.scratch
+
 let pp_stats fmt t =
-  Format.fprintf fmt "v=%d c=%d lits=%d" t.nvars (num_clauses t) t.nlits
+  Format.fprintf fmt "v=%d c=%d lits=%d" t.nvars t.nclauses t.nlits

@@ -49,8 +49,14 @@ let parse_lines lines =
   List.iteri (fun i line -> handle_line (i + 1) line) lines;
   (match !header with
   | None -> raise (Parse_error "missing p cnf header")
-  | Some _ -> ());
-  if !current <> [] then raise (Parse_error "unterminated clause at end of input");
+  | Some (_, nc) ->
+      if !current <> [] then
+        raise (Parse_error "unterminated clause at end of input");
+      if !nclauses <> nc then
+        raise
+          (Parse_error
+             (Printf.sprintf "header declares %d clauses but %d were read" nc
+                !nclauses)));
   cnf
 
 let parse_string s = parse_lines (String.split_on_char '\n' s)
@@ -66,31 +72,40 @@ let parse_file path =
   close_in ic;
   parse_lines lines
 
-let output oc ?(comments = []) cnf =
-  List.iter (fun c -> Printf.fprintf oc "c %s\n" c) comments;
-  Printf.fprintf oc "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf);
-  Cnf.iter_clauses
-    (fun lits ->
-      Array.iter (fun l -> Printf.fprintf oc "%d " (Lit.to_dimacs l)) lits;
-      output_string oc "0\n")
-    cnf
+(* All writers share one Buffer-backed emitter iterating the arena directly:
+   no per-clause array copies and no Printf formatting on the clause path. *)
+let to_buffer buf ?(comments = []) cnf =
+  List.iter
+    (fun c ->
+      Buffer.add_string buf "c ";
+      Buffer.add_string buf c;
+      Buffer.add_char buf '\n')
+    comments;
+  Buffer.add_string buf "p cnf ";
+  Buffer.add_string buf (string_of_int (Cnf.num_vars cnf));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int (Cnf.num_clauses cnf));
+  Buffer.add_char buf '\n';
+  Cnf.iter_clauses' cnf ~f:(fun arena off len ->
+      for k = off to off + len - 1 do
+        Buffer.add_string buf (string_of_int (Lit.to_dimacs arena.(k)));
+        Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf "0\n")
+
+let buffer_for cnf = Buffer.create (64 + (4 * Cnf.num_lits cnf))
+
+let output oc ?comments cnf =
+  let buf = buffer_for cnf in
+  to_buffer buf ?comments cnf;
+  Buffer.output_buffer oc buf
 
 let to_string ?comments cnf =
-  let buf = Buffer.create 1024 in
-  let comments = Option.value comments ~default:[] in
-  List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "c %s\n" c)) comments;
-  Buffer.add_string buf
-    (Printf.sprintf "p cnf %d %d\n" (Cnf.num_vars cnf) (Cnf.num_clauses cnf));
-  Cnf.iter_clauses
-    (fun lits ->
-      Array.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " (Lit.to_dimacs l))) lits;
-      Buffer.add_string buf "0\n")
-    cnf;
+  let buf = buffer_for cnf in
+  to_buffer buf ?comments cnf;
   Buffer.contents buf
 
 let write_file path ?comments cnf =
   let oc = open_out path in
-  (match comments with
-  | Some c -> output oc ~comments:c cnf
-  | None -> output oc cnf);
+  output oc ?comments cnf;
   close_out oc

@@ -11,6 +11,10 @@ exception Parse_error of string
 val parse_string : string -> Cnf.t
 val parse_file : string -> Cnf.t
 
+val to_buffer : Buffer.t -> ?comments:string list -> Cnf.t -> unit
+(** Appends the formula (preceded by the given comment lines) to a buffer,
+    iterating the clause arena directly — no per-clause copies. *)
+
 val output : out_channel -> ?comments:string list -> Cnf.t -> unit
 (** Writes the formula, preceded by the given comment lines. *)
 

@@ -2,12 +2,12 @@ type result = Sat of bool array | Unsat | Unknown
 
 exception Budget
 
-(* Assignment: -1 false, 0 undef, 1 true. Clauses are literal arrays. The
-   solver re-scans clauses for units — quadratic, but this module exists for
-   correctness (cross-checking the CDCL solver), not speed. *)
+(* Assignment: -1 false, 0 undef, 1 true. Clauses are scanned directly in
+   the CNF's literal arena. The solver re-scans clauses for units —
+   quadratic, but this module exists for correctness (cross-checking the
+   CDCL solver), not speed. *)
 let solve ?max_decisions cnf =
   let nvars = Cnf.num_vars cnf in
-  let clauses = Array.of_list (Cnf.clauses cnf) in
   let assigns = Array.make (max nvars 1) 0 in
   let decisions = ref 0 in
   let value_lit l =
@@ -22,28 +22,29 @@ let solve ?max_decisions cnf =
     let progress = ref true in
     while !progress && not !conflict do
       progress := false;
-      Array.iter
-        (fun lits ->
+      Cnf.iter_clauses' cnf ~f:(fun arena off len ->
           if not !conflict then begin
-            let unassigned = ref [] in
+            let unassigned = ref 0 in
+            let unit = ref 0 in
             let satisfied = ref false in
-            Array.iter
-              (fun l ->
-                match value_lit l with
-                | 1 -> satisfied := true
-                | 0 -> unassigned := l :: !unassigned
-                | _ -> ())
-              lits;
+            for k = off to off + len - 1 do
+              let l = arena.(k) in
+              match value_lit l with
+              | 1 -> satisfied := true
+              | 0 ->
+                  incr unassigned;
+                  unit := l
+              | _ -> ()
+            done;
             if not !satisfied then
-              match !unassigned with
-              | [] -> conflict := true
-              | [ l ] ->
-                  assigns.(Lit.var l) <- (if Lit.sign l then 1 else -1);
-                  assigned := l :: !assigned;
-                  progress := true
-              | _ :: _ :: _ -> ()
+              if !unassigned = 0 then conflict := true
+              else if !unassigned = 1 then begin
+                let l = !unit in
+                assigns.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+                assigned := l :: !assigned;
+                progress := true
+              end
           end)
-        clauses
     done;
     if !conflict then begin
       List.iter (fun l -> assigns.(Lit.var l) <- 0) !assigned;

@@ -102,7 +102,8 @@ let rup st lits =
 
 let load cnf =
   let st = create (Cnf.num_vars cnf) in
-  Cnf.iter_clauses (fun arr -> ignore (add_clause st (Array.to_list arr))) cnf;
+  Cnf.iter_clauses' cnf ~f:(fun arena off len ->
+      ignore (add_clause st (Array.to_list (Array.sub arena off len))));
   st
 
 let is_rup cnf clause = rup (load cnf) clause

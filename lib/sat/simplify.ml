@@ -189,10 +189,20 @@ let final_cleanup w =
     w.clauses;
   w.clauses <- List.rev !keep
 
+(* Ingest straight from the arena: one literal list per clause, no
+   intermediate per-clause arrays. *)
+let clause_lists cnf =
+  List.rev
+    (Cnf.fold_clauses cnf ~init:[] ~f:(fun acc arena off len ->
+         let rec go k lits =
+           if k < off then lits else go (k - 1) (arena.(k) :: lits)
+         in
+         go (off + len - 1) [] :: acc))
+
 let simplify ?(max_rounds = 10) cnf =
   let w =
     {
-      clauses = List.map Array.to_list (Cnf.clauses cnf);
+      clauses = clause_lists cnf;
       assignment = Hashtbl.create 64;
       units = 0;
       pures = 0;

@@ -390,32 +390,53 @@ exception Assumption_failed
 exception Out_of_budget
 
 (* Load the problem clauses into a fresh state; level-0 units go straight
-   onto the trail, and [st.ok] turns false on an immediate conflict. *)
+   onto the trail, and [st.ok] turns false on an immediate conflict. Clause
+   views come straight from the arena: satisfied clauses are skipped and
+   false literals dropped in a counting pass, so only the surviving watched
+   clauses allocate (exactly-sized, owned by the solver). *)
 let load_clauses st cnf =
-  let add_problem_clause lits =
-    if st.ok then begin
-      (* drop literals already false at level 0; satisfied clauses skipped *)
-      let lits = Array.to_list lits in
-      let satisfied = List.exists (fun l -> value_lit st l = 1) lits in
-      if not satisfied then
-        match List.filter (fun l -> value_lit st l <> -1) lits with
-        | [] ->
+  Cnf.iter_clauses' cnf ~f:(fun arena off len ->
+      if st.ok then begin
+        let satisfied = ref false in
+        let keep = ref 0 in
+        for k = off to off + len - 1 do
+          match value_lit st arena.(k) with
+          | 1 -> satisfied := true
+          | 0 -> incr keep
+          | _ -> ()
+        done;
+        if not !satisfied then
+          if !keep = 0 then begin
             record_proof_add st [];
             st.ok <- false
-        | [ l ] ->
-            enqueue st l None;
-            (match propagate st with
+          end
+          else if !keep = 1 then begin
+            let unit = ref 0 in
+            for k = off to off + len - 1 do
+              if value_lit st arena.(k) = 0 then unit := arena.(k)
+            done;
+            enqueue st !unit None;
+            match propagate st with
             | Some _ ->
                 record_proof_add st [];
                 st.ok <- false
-            | None -> ())
-        | lits ->
-            let c = Clause.make (Array.of_list lits) in
+            | None -> ()
+          end
+          else begin
+            let out = Array.make !keep 0 in
+            let j = ref 0 in
+            for k = off to off + len - 1 do
+              let l = arena.(k) in
+              if value_lit st l = 0 then begin
+                out.(!j) <- l;
+                incr j
+              end
+            done;
+            let c = Clause.make out in
             Vec.push st.clauses c;
             attach_clause st c
-    end
-  in
-  Cnf.iter_clauses add_problem_clause cnf;
+          end
+      end);
   for v = 0 to st.nvars - 1 do
     if value_var st v = 0 then Heap.insert st.order v
   done
@@ -562,15 +583,12 @@ let solve ?(config = default) ?(budget = no_budget) ?proof cnf =
 
 let check_model cnf model =
   let ok = ref true in
-  Cnf.iter_clauses
-    (fun lits ->
-      let sat =
-        Array.exists
-          (fun l ->
-            let v = Lit.var l in
-            v < Array.length model && model.(v) = Lit.sign l)
-          lits
-      in
-      if not sat then ok := false)
-    cnf;
+  Cnf.iter_clauses' cnf ~f:(fun arena off len ->
+      let sat = ref false in
+      for k = off to off + len - 1 do
+        let l = arena.(k) in
+        let v = Lit.var l in
+        if v < Array.length model && model.(v) = Lit.sign l then sat := true
+      done;
+      if not !sat then ok := false);
   !ok

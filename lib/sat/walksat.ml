@@ -31,7 +31,8 @@ end
 
 type state = {
   nvars : int;
-  clauses : Lit.t array array;
+  cnf : Cnf.t; (* clauses are read straight from the literal arena *)
+  nclauses : int;
   occ : int list array; (* literal -> clause indices containing it *)
   model : bool array;
   sat_count : int array; (* satisfied literals per clause *)
@@ -61,12 +62,16 @@ let unsat_remove st c =
 let recompute st =
   Vec.clear st.unsat;
   Array.fill st.unsat_pos 0 (Array.length st.unsat_pos) (-1);
-  Array.iteri
-    (fun c lits ->
-      let n = Array.fold_left (fun acc l -> if lit_true st l then acc + 1 else acc) 0 lits in
-      st.sat_count.(c) <- n;
-      if n = 0 then unsat_add st c)
-    st.clauses
+  let arena = Cnf.lits_array st.cnf in
+  for c = 0 to st.nclauses - 1 do
+    let off = Cnf.clause_off st.cnf c in
+    let n = ref 0 in
+    for k = off to off + Cnf.clause_len st.cnf c - 1 do
+      if lit_true st arena.(k) then incr n
+    done;
+    st.sat_count.(c) <- !n;
+    if !n = 0 then unsat_add st c
+  done
 
 let flip st v =
   let was = st.model.(v) in
@@ -94,20 +99,32 @@ let break_count st v =
     (fun acc c -> if st.sat_count.(c) = 1 then acc + 1 else acc)
     0 st.occ.(true_lit)
 
+let has_empty_clause cnf =
+  let empty = ref false in
+  for c = 0 to Cnf.num_clauses cnf - 1 do
+    if Cnf.clause_len cnf c = 0 then empty := true
+  done;
+  !empty
+
 let solve ?(params = default_params) cnf =
   let nvars = Cnf.num_vars cnf in
-  let clauses = Array.of_list (Cnf.clauses cnf) in
-  if Array.exists (fun c -> Array.length c = 0) clauses then (Unknown, 0)
+  if has_empty_clause cnf then (Unknown, 0)
   else begin
-    let nclauses = Array.length clauses in
+    let nclauses = Cnf.num_clauses cnf in
     let occ = Array.make (max (2 * nvars) 1) [] in
-    Array.iteri
-      (fun c lits -> Array.iter (fun l -> occ.(l) <- c :: occ.(l)) lits)
-      clauses;
+    let arena = Cnf.lits_array cnf in
+    for c = 0 to nclauses - 1 do
+      let off = Cnf.clause_off cnf c in
+      for k = off to off + Cnf.clause_len cnf c - 1 do
+        let l = arena.(k) in
+        occ.(l) <- c :: occ.(l)
+      done
+    done;
     let st =
       {
         nvars;
-        clauses;
+        cnf;
+        nclauses;
         occ;
         model = Array.make (max nvars 1) false;
         sat_count = Array.make (max nclauses 1) 0;
@@ -130,22 +147,24 @@ let solve ?(params = default_params) cnf =
           else begin
             incr flips;
             let c = Vec.get st.unsat (Rng.int st.rng (Vec.size st.unsat)) in
-            let lits = st.clauses.(c) in
+            let arena = Cnf.lits_array st.cnf in
+            let off = Cnf.clause_off st.cnf c in
+            let len = Cnf.clause_len st.cnf c in
             let v =
               if Rng.float st.rng < params.noise then
-                Lit.var lits.(Rng.int st.rng (Array.length lits))
+                Lit.var arena.(off + Rng.int st.rng len)
               else begin
                 (* greedy: the variable with the fewest broken clauses *)
-                let best = ref (Lit.var lits.(0)) in
+                let best = ref (Lit.var arena.(off)) in
                 let best_break = ref max_int in
-                Array.iter
-                  (fun l ->
-                    let b = break_count st (Lit.var l) in
-                    if b < !best_break then begin
-                      best_break := b;
-                      best := Lit.var l
-                    end)
-                  lits;
+                for k = off to off + len - 1 do
+                  let l = arena.(k) in
+                  let b = break_count st (Lit.var l) in
+                  if b < !best_break then begin
+                    best_break := b;
+                    best := Lit.var l
+                  end
+                done;
                 !best
               end
             in

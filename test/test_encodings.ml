@@ -22,9 +22,10 @@ let enc name =
 let extended_encodings = E.Registry.all @ E.Registry.multi_level_extensions
 
 let clause_set cnf =
-  Sat.Cnf.clauses cnf
-  |> List.map (fun arr ->
-         Array.to_list arr |> List.map Sat.Lit.to_dimacs |> List.sort compare)
+  Sat.Cnf.fold_clauses cnf ~init:[] ~f:(fun acc arena off len ->
+      (List.init len (fun k -> Sat.Lit.to_dimacs arena.(off + k))
+      |> List.sort compare)
+      :: acc)
   |> List.sort compare
 
 let two_vertex_cnf encoding =

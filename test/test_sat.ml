@@ -18,18 +18,27 @@ let cnf_of_dimacs_lists nvars clauses =
   List.iter (fun c -> Cnf.add_clause cnf (List.map Lit.of_dimacs c)) clauses;
   cnf
 
+(* Clauses as DIMACS integer lists, via the zero-copy fold. *)
+let dimacs_lists cnf =
+  List.rev
+    (Cnf.fold_clauses cnf ~init:[] ~f:(fun acc arena off len ->
+         List.init len (fun k -> Lit.to_dimacs arena.(off + k)) :: acc))
+
 (* Exhaustive satisfiability check for formulas with few variables. *)
 let brute_force cnf =
   let n = Cnf.num_vars cnf in
   assert (n <= 20);
-  let clauses = Cnf.clauses cnf in
   let sat_under m =
-    List.for_all
-      (fun lits ->
-        Array.exists
-          (fun l -> (m lsr Lit.var l) land 1 = if Lit.sign l then 1 else 0)
-          lits)
-      clauses
+    Cnf.fold_clauses cnf ~init:true ~f:(fun acc arena off len ->
+        acc
+        &&
+        let rec any k =
+          k < off + len
+          && ((m lsr Lit.var arena.(k)) land 1
+              = (if Lit.sign arena.(k) then 1 else 0)
+             || any (k + 1))
+        in
+        any off)
   in
   let rec go m = if m >= 1 lsl n then None else if sat_under m then Some m else go (m + 1) in
   go 0
@@ -69,10 +78,8 @@ let test_cnf_tautology_dropped () =
 
 let test_cnf_duplicates_removed () =
   let cnf = cnf_of_dimacs_lists 1 [ [ 1; 1; 1 ] ] in
-  (match Cnf.clauses cnf with
-  | [ arr ] -> Alcotest.(check int) "deduped" 1 (Array.length arr)
-  | _ -> Alcotest.fail "expected one clause");
-  ()
+  Alcotest.(check int) "one clause" 1 (Cnf.num_clauses cnf);
+  Alcotest.(check int) "deduped" 1 (Cnf.clause_len cnf 0)
 
 let test_cnf_unallocated_var_rejected () =
   let cnf = Cnf.create () in
@@ -93,6 +100,51 @@ let test_cnf_copy_independent () =
   Alcotest.(check int) "copy unchanged" 1 (Cnf.num_clauses copy);
   Alcotest.(check int) "original grew" 2 (Cnf.num_clauses cnf)
 
+let test_cnf_views_agree () =
+  let cnf = cnf_of_dimacs_lists 4 [ [ 1; -2 ]; [ 3; 4; -1 ]; [ 2 ] ] in
+  (* the three access paths — views, indexed accessors, and the fold — must
+     describe the same clauses *)
+  let via_views =
+    List.init (Cnf.num_clauses cnf) (fun i ->
+        Cnf.view_to_list (Cnf.get_clause cnf i) |> List.map Lit.to_dimacs)
+  in
+  let via_accessors =
+    List.init (Cnf.num_clauses cnf) (fun i ->
+        List.init (Cnf.clause_len cnf i) (fun k ->
+            Lit.to_dimacs (Cnf.clause_lit cnf i k)))
+  in
+  Alcotest.(check (list (list int))) "views = fold" (dimacs_lists cnf) via_views;
+  Alcotest.(check (list (list int)))
+    "accessors = fold" (dimacs_lists cnf) via_accessors;
+  let v = Cnf.get_clause cnf 1 in
+  Alcotest.(check int) "view_len" 3 (Cnf.view_len v);
+  Alcotest.(check (array int))
+    "view_to_array" (Array.of_list (Cnf.view_to_list v)) (Cnf.view_to_array v);
+  Alcotest.(check int) "num_lits totals lens" 6 (Cnf.num_lits cnf)
+
+let test_cnf_builder_matches_add_clause () =
+  let a = cnf_of_dimacs_lists 3 [ [ 1; -2; 3 ]; [ 2; 2; -3 ] ] in
+  let b = Cnf.create () in
+  Cnf.ensure_vars b 3;
+  List.iter
+    (fun c ->
+      Cnf.start_clause b;
+      List.iter (fun d -> Cnf.push_lit b (Lit.of_dimacs d)) c;
+      Cnf.commit_clause b)
+    [ [ 1; -2; 3 ]; [ 2; 2; -3 ] ];
+  Alcotest.(check (list (list int)))
+    "builder = add_clause" (dimacs_lists a) (dimacs_lists b)
+
+let test_cnf_append () =
+  let a = cnf_of_dimacs_lists 2 [ [ 1; 2 ]; [ -1 ] ] in
+  let b = cnf_of_dimacs_lists 3 [ [ 3; -2 ] ] in
+  Cnf.append a b;
+  Alcotest.(check int) "vars raised" 3 (Cnf.num_vars a);
+  Alcotest.(check int) "clauses concatenated" 3 (Cnf.num_clauses a);
+  Alcotest.(check (list (list int)))
+    "contents" [ [ 1; 2 ]; [ -1 ]; [ -2; 3 ] ] (dimacs_lists a);
+  Alcotest.(check int) "src untouched" 1 (Cnf.num_clauses b)
+
 (* --- DIMACS --- *)
 
 let test_dimacs_roundtrip () =
@@ -102,16 +154,12 @@ let test_dimacs_roundtrip () =
   Alcotest.(check int) "vars" (Cnf.num_vars cnf) (Cnf.num_vars cnf');
   Alcotest.(check int) "clauses" (Cnf.num_clauses cnf) (Cnf.num_clauses cnf');
   Alcotest.(check (list (list int)))
-    "clauses equal"
-    (List.map (fun a -> Array.to_list a |> List.map Lit.to_dimacs) (Cnf.clauses cnf))
-    (List.map (fun a -> Array.to_list a |> List.map Lit.to_dimacs) (Cnf.clauses cnf'))
+    "clauses equal" (dimacs_lists cnf) (dimacs_lists cnf')
 
 let test_dimacs_multiline_clause () =
   let cnf = Dimacs.parse_string "p cnf 3 1\n1 2\n3 0\n" in
   Alcotest.(check int) "one clause" 1 (Cnf.num_clauses cnf);
-  match Cnf.clauses cnf with
-  | [ arr ] -> Alcotest.(check int) "three lits" 3 (Array.length arr)
-  | _ -> Alcotest.fail "expected one clause"
+  Alcotest.(check int) "three lits" 3 (Cnf.clause_len cnf 0)
 
 let expect_parse_error s =
   match Dimacs.parse_string s with
@@ -128,6 +176,17 @@ let test_dimacs_errors () =
   expect_parse_error "p cnf x y\n";
   (* malformed header *)
   expect_parse_error "p cnf 2 1\np cnf 2 1\n1 0\n" (* duplicate header *)
+
+let test_dimacs_clause_count_validated () =
+  (* regression: a trailing clause missing its terminating 0 at EOF must not
+     be silently dropped *)
+  expect_parse_error "p cnf 2 2\n1 0\n1 2\n";
+  (* declared clause count must match the clauses actually read *)
+  expect_parse_error "p cnf 2 2\n1 0\n";
+  expect_parse_error "p cnf 2 1\n1 0\n-2 0\n";
+  (* exact count still parses *)
+  let cnf = Dimacs.parse_string "p cnf 2 2\n1 0\n-2 0\n" in
+  Alcotest.(check int) "clauses" 2 (Cnf.num_clauses cnf)
 
 let test_dimacs_comments_and_blanks () =
   let cnf = Dimacs.parse_string "c hello\n\np cnf 2 2\nc mid\n1 0\n-2 0\n" in
@@ -372,14 +431,61 @@ let prop_unsat_proofs_end_empty =
       | Solver.Unsat, _ -> Proof.ends_with_empty proof
       | Solver.Sat _, _ | Solver.Unknown, _ -> true)
 
+let lit_lists cnf =
+  List.init (Cnf.num_clauses cnf) (fun i -> Cnf.view_to_list (Cnf.get_clause cnf i))
+
+(* the legacy add_clause semantics, kept as an executable reference *)
+let reference_normalise lits =
+  let sorted = List.sort_uniq Lit.compare lits in
+  let rec tauto = function
+    | a :: (b :: _ as rest) -> a lxor b = 1 || tauto rest
+    | [ _ ] | [] -> false
+  in
+  if tauto sorted then None else Some sorted
+
+let prop_add_clause_normalises =
+  QCheck2.Test.make ~count:500
+    ~name:"add_clause sorts, dedupes, and drops tautologies" gen_random_cnf
+    (fun (nvars, clauses) ->
+      let cnf = Cnf.create () in
+      Cnf.ensure_vars cnf nvars;
+      List.iter (Cnf.add_clause cnf) clauses;
+      lit_lists cnf = List.filter_map reference_normalise clauses)
+
+let prop_views_consistent =
+  QCheck2.Test.make ~count:200
+    ~name:"fold_clauses, get_clause and indexed accessors agree" gen_random_cnf
+    (fun input ->
+      let cnf = build input in
+      let via_fold =
+        List.rev
+          (Cnf.fold_clauses cnf ~init:[] ~f:(fun acc arena off len ->
+               List.init len (fun k -> arena.(off + k)) :: acc))
+      in
+      let via_views = lit_lists cnf in
+      let via_accessors =
+        List.init (Cnf.num_clauses cnf) (fun i ->
+            List.init (Cnf.clause_len cnf i) (Cnf.clause_lit cnf i))
+      in
+      via_fold = via_views
+      && via_fold = via_accessors
+      && Cnf.num_lits cnf
+         = List.fold_left (fun n c -> n + List.length c) 0 via_fold)
+
+let prop_copy_equals_source =
+  QCheck2.Test.make ~count:200 ~name:"copy preserves clauses and vars"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let c = Cnf.copy cnf in
+      Cnf.num_vars c = Cnf.num_vars cnf && lit_lists c = lit_lists cnf)
+
 let prop_dimacs_roundtrip =
   QCheck2.Test.make ~count:200 ~name:"DIMACS write/parse is identity"
     gen_random_cnf (fun input ->
       let cnf = build input in
       let cnf' = Dimacs.parse_string (Dimacs.to_string cnf) in
       Cnf.num_vars cnf = Cnf.num_vars cnf'
-      && List.map Array.to_list (Cnf.clauses cnf)
-         = List.map Array.to_list (Cnf.clauses cnf'))
+      && dimacs_lists cnf = dimacs_lists cnf')
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
@@ -400,12 +506,24 @@ let () =
             test_cnf_unallocated_var_rejected;
           Alcotest.test_case "fresh vars" `Quick test_cnf_fresh_vars;
           Alcotest.test_case "copy independent" `Quick test_cnf_copy_independent;
+          Alcotest.test_case "views agree" `Quick test_cnf_views_agree;
+          Alcotest.test_case "builder matches add_clause" `Quick
+            test_cnf_builder_matches_add_clause;
+          Alcotest.test_case "append" `Quick test_cnf_append;
         ] );
+      qsuite "cnf-properties"
+        [
+          prop_add_clause_normalises;
+          prop_views_consistent;
+          prop_copy_equals_source;
+        ];
       ( "dimacs",
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "multiline clause" `Quick test_dimacs_multiline_clause;
           Alcotest.test_case "malformed inputs rejected" `Quick test_dimacs_errors;
+          Alcotest.test_case "clause count validated" `Quick
+            test_dimacs_clause_count_validated;
           Alcotest.test_case "comments and blanks" `Quick
             test_dimacs_comments_and_blanks;
         ] );

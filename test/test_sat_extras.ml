@@ -19,14 +19,17 @@ let cnf_of nvars clauses =
 let brute_force cnf =
   let n = Cnf.num_vars cnf in
   assert (n <= 16);
-  let clauses = Cnf.clauses cnf in
   let sat_under m =
-    List.for_all
-      (fun lits ->
-        Array.exists
-          (fun l -> (m lsr Lit.var l) land 1 = if Lit.sign l then 1 else 0)
-          lits)
-      clauses
+    Cnf.fold_clauses cnf ~init:true ~f:(fun acc arena off len ->
+        acc
+        &&
+        let rec any k =
+          k < off + len
+          && ((m lsr Lit.var arena.(k)) land 1
+              = (if Lit.sign arena.(k) then 1 else 0)
+             || any (k + 1))
+        in
+        any off)
   in
   let rec go m = if m >= 1 lsl n then false else sat_under m || go (m + 1) in
   go 0
