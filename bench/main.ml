@@ -21,24 +21,41 @@
 
    Timed cells are bounded by --budget seconds (default 30): a cell that
    exceeds it is reported as "T/O" and enters the totals at the budget
-   value, making total speedups lower bounds, as in common practice. *)
+   value, making total speedups lower bounds, as in common practice.
+
+   The matrix sections (table2, routable, solvers) submit their cells to
+   the Fpgasat_engine.Sweep domain pool: --jobs N runs N cells at a time
+   (default 1, the faithful sequential accounting — parallel cells contend
+   for memory bandwidth and their CPU times grow), --out streams every
+   completed cell as one JSON line, and --resume skips cells already in
+   the --out file, making the expensive tables restartable. The budget is
+   enforced as a wall-clock deadline through the solver's cooperative
+   interrupt hook. Tables are rendered from the collected records. *)
 
 module Sat = Fpgasat_sat
 module G = Fpgasat_graph
 module E = Fpgasat_encodings
 module F = Fpgasat_fpga
 module C = Fpgasat_core
+module Eng = Fpgasat_engine
 module Flow = C.Flow
 module Strategy = C.Strategy
 module Report = C.Report
+module Sweep = Eng.Sweep
+module Run_record = Eng.Run_record
 
 let budget_seconds = ref 30.
 let sections = ref
     "table1,figure1,table2,routable,solvers,portfolio,ablations,baselines,extensions,incremental,channel"
 let with_bechamel = ref false
 let encode_bench_only = ref false
+let jobs = ref 1
+let out_file = ref ""
+let resume = ref false
 
-let usage = "main.exe [--budget SEC] [--sections a,b,c] [--bechamel] [--encode-bench]"
+let usage =
+  "main.exe [--budget SEC] [--sections a,b,c] [--jobs N] [--out FILE.jsonl] \
+   [--resume] [--bechamel] [--encode-bench]"
 
 let arg_spec =
   [
@@ -46,11 +63,65 @@ let arg_spec =
     ( "--sections",
       Arg.Set_string sections,
       "LIST comma-separated sections (default: all paper sections)" );
+    ("--jobs", Arg.Set_int jobs, "N worker domains for the matrix sections (default 1)");
+    ( "--out",
+      Arg.Set_string out_file,
+      "FILE stream completed cells of the matrix sections as JSON lines" );
+    ("--resume", Arg.Set resume, " skip cells already recorded in the --out file");
     ("--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks");
     ( "--encode-bench",
       Arg.Set encode_bench_only,
       " print encode+load throughput JSON for the largest configuration and exit" );
   ]
+
+let sweep_config () =
+  {
+    Sweep.default_config with
+    Sweep.jobs = !jobs;
+    budget_seconds = Some !budget_seconds;
+    out = (if !out_file = "" then None else Some !out_file);
+    resume = !resume;
+    on_progress =
+      Some
+        (fun p ->
+          Printf.eprintf "\r[%d/%d cells]%!" p.Sweep.completed p.Sweep.total;
+          if p.Sweep.completed = p.Sweep.total then Printf.eprintf "\n%!");
+  }
+
+let run_sweep cells = Sweep.run (sweep_config ()) cells
+
+(* record lookup for table rendering *)
+let record_index records =
+  let tbl = Hashtbl.create (List.length records) in
+  List.iter (fun r -> Hashtbl.replace tbl (Run_record.key r) r) records;
+  fun ~benchmark ~strategy ~width ->
+    match
+      Hashtbl.find_opt tbl
+        (Run_record.make_key ~benchmark ~strategy:(Strategy.name strategy) ~width)
+    with
+    | Some r -> r
+    | None ->
+        failwith
+          (Printf.sprintf "missing sweep record for %s"
+             (Run_record.make_key ~benchmark ~strategy:(Strategy.name strategy)
+                ~width))
+
+(* a timed record cell: total CPU time, or the budget on T/O *)
+let record_seconds (r : Run_record.t) =
+  match r.Run_record.outcome with
+  | Run_record.Timeout -> !budget_seconds
+  | Run_record.Routable | Run_record.Unroutable | Run_record.Crashed _ ->
+      Run_record.total_seconds r
+
+let record_timed_out (r : Run_record.t) =
+  r.Run_record.outcome = Run_record.Timeout
+
+let record_text (r : Run_record.t) =
+  match r.Run_record.outcome with
+  | Run_record.Timeout -> "T/O"
+  | Run_record.Crashed _ -> "crash"
+  | Run_record.Routable | Run_record.Unroutable ->
+      Report.format_seconds (record_seconds r)
 
 let section_enabled name = List.mem name (String.split_on_char ',' !sections)
 
@@ -200,27 +271,46 @@ let section_table2 () =
      totals at the budget, so speedups under T/O are lower bounds).\n\n"
     !budget_seconds;
   let benches = Lazy.force prepared in
-  let ncols = List.length table2_columns in
+  let cols = List.map strategy_of_column table2_columns in
+  let records =
+    run_sweep
+      (List.concat_map
+         (fun pb ->
+           List.map
+             (fun strat ->
+               Sweep.cell ~benchmark:(bench_name pb) strat
+                 pb.inst.F.Benchmarks.route ~width:(pb.w_min - 1))
+             cols)
+         benches)
+  in
+  let find = record_index records in
+  let ncols = List.length cols in
   let totals = Array.make ncols 0. in
   let any_timeout = Array.make ncols false in
   let rows =
     List.map
       (fun pb ->
         let cells =
-          List.map (fun col -> run_cell pb (strategy_of_column col)) table2_columns
+          List.map
+            (fun strat ->
+              find ~benchmark:(bench_name pb) ~strategy:strat
+                ~width:(pb.w_min - 1))
+            cols
         in
         List.iteri
-          (fun i c ->
-            totals.(i) <- totals.(i) +. c.seconds;
-            if c.timed_out then any_timeout.(i) <- true;
-            match c.outcome with
-            | Flow.Routable _ ->
+          (fun i r ->
+            totals.(i) <- totals.(i) +. record_seconds r;
+            if record_timed_out r then any_timeout.(i) <- true;
+            match r.Run_record.outcome with
+            | Run_record.Routable ->
                 Printf.eprintf "WARNING: %s at w_min-1 came out routable!\n"
                   (bench_name pb)
-            | Flow.Unroutable | Flow.Timeout -> ())
+            | Run_record.Crashed m ->
+                Printf.eprintf "WARNING: %s cell crashed: %s\n" (bench_name pb) m
+            | Run_record.Unroutable | Run_record.Timeout -> ())
           cells;
         Printf.sprintf "%s (W=%d)" (bench_name pb) (pb.w_min - 1)
-        :: List.map cell_text cells)
+        :: List.map record_text cells)
       benches
   in
   let total_row =
@@ -256,30 +346,46 @@ let section_routable () =
     "Sect. 6: most encodings are comparable and very efficient when a\n\
      detailed routing exists. Times below use s1 and the minisat preset.\n";
   let benches = Lazy.force prepared in
-  let encodings = E.Registry.table2 in
+  let cols =
+    List.map
+      (fun e -> Strategy.make ~symmetry:E.Symmetry.S1 ~solver:`Minisat_like e)
+      E.Registry.table2
+  in
+  let records =
+    run_sweep
+      (List.concat_map
+         (fun pb ->
+           List.map
+             (fun strat ->
+               Sweep.cell ~benchmark:(bench_name pb) strat
+                 pb.inst.F.Benchmarks.route ~width:pb.w_min)
+             cols)
+         benches)
+  in
+  let find = record_index records in
   let rows =
     List.map
       (fun pb ->
         let cells =
           List.map
-            (fun e ->
-              let strat =
-                Strategy.make ~symmetry:E.Symmetry.S1 ~solver:`Minisat_like e
+            (fun strat ->
+              let r =
+                find ~benchmark:(bench_name pb) ~strategy:strat ~width:pb.w_min
               in
-              let c = run_cell ~width_delta:0 pb strat in
-              (match c.outcome with
-              | Flow.Unroutable ->
+              (match r.Run_record.outcome with
+              | Run_record.Unroutable ->
                   Printf.eprintf "WARNING: %s at w_min unroutable!\n" (bench_name pb)
-              | Flow.Routable _ | Flow.Timeout -> ());
-              cell_text c)
-            encodings
+              | Run_record.Routable | Run_record.Timeout | Run_record.Crashed _ ->
+                  ());
+              record_text r)
+            cols
         in
         Printf.sprintf "%s (W=%d)" (bench_name pb) pb.w_min :: cells)
       benches
   in
   print_string
     (Report.render_table
-       ~header:("Benchmark" :: List.map E.Encoding.name encodings)
+       ~header:("Benchmark" :: List.map E.Encoding.name E.Registry.table2)
        rows);
   print_newline ()
 
@@ -290,19 +396,33 @@ let section_solvers () =
   print_string (Report.section "Solver presets on UNSAT instances (Sect. 6)");
   print_endline "Encoding ITE-linear-2+muldirect with s1; UNSAT at w_min - 1.\n";
   let benches = Lazy.force prepared in
+  let strat solver =
+    Strategy.make ~symmetry:E.Symmetry.S1 ~solver (encoding "ITE-linear-2+muldirect")
+  in
+  let records =
+    run_sweep
+      (List.concat_map
+         (fun pb ->
+           List.map
+             (fun solver ->
+               Sweep.cell ~benchmark:(bench_name pb) (strat solver)
+                 pb.inst.F.Benchmarks.route ~width:(pb.w_min - 1))
+             [ `Siege_like; `Minisat_like ])
+         benches)
+  in
+  let find = record_index records in
   let total_siege = ref 0. and total_minisat = ref 0. in
   let rows =
     List.map
       (fun pb ->
-        let run solver =
-          run_cell pb
-            (Strategy.make ~symmetry:E.Symmetry.S1 ~solver
-               (encoding "ITE-linear-2+muldirect"))
+        let cell solver =
+          find ~benchmark:(bench_name pb) ~strategy:(strat solver)
+            ~width:(pb.w_min - 1)
         in
-        let siege = run `Siege_like and minisat = run `Minisat_like in
-        total_siege := !total_siege +. siege.seconds;
-        total_minisat := !total_minisat +. minisat.seconds;
-        [ bench_name pb; cell_text siege; cell_text minisat ])
+        let siege = cell `Siege_like and minisat = cell `Minisat_like in
+        total_siege := !total_siege +. record_seconds siege;
+        total_minisat := !total_minisat +. record_seconds minisat;
+        [ bench_name pb; record_text siege; record_text minisat ])
       benches
   in
   let totals =
@@ -751,10 +871,17 @@ let section_encode_bench () =
   let bytes1 = Gc.allocated_bytes () in
   ignore (Sat.Solver.solver_stats solver);
   let words_alloc = int_of_float ((bytes1 -. bytes0) /. 8.) in
-  Printf.printf
-    "{\"vars\":%d,\"clauses\":%d,\"lits\":%d,\"encode_s\":%.6f,\"load_s\":%.6f,\"words_alloc\":%d}\n"
-    (Sat.Cnf.num_vars cnf) (Sat.Cnf.num_clauses cnf) (Sat.Cnf.num_lits cnf)
-    encode_s load_s words_alloc
+  print_endline
+    (Eng.Json.to_string
+       (Eng.Json.Obj
+          [
+            ("vars", Eng.Json.Int (Sat.Cnf.num_vars cnf));
+            ("clauses", Eng.Json.Int (Sat.Cnf.num_clauses cnf));
+            ("lits", Eng.Json.Int (Sat.Cnf.num_lits cnf));
+            ("encode_s", Eng.Json.Float encode_s);
+            ("load_s", Eng.Json.Float load_s);
+            ("words_alloc", Eng.Json.Int words_alloc);
+          ]))
 
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;

@@ -3,8 +3,10 @@
    Subcommands mirror the paper's tool flow: generate a benchmark instance,
    export its conflict graph (DIMACS .col), encode a width query to DIMACS
    CNF under any of the 15 encodings, decide routability (with optional DRAT
-   proof), search the minimal width, run strategy portfolios, and solve
-   arbitrary DIMACS CNF / colouring files with the built-in CDCL solver. *)
+   proof), search the minimal width, run strategy portfolios, sweep whole
+   benchmark × strategy matrices in parallel with streamed JSONL results
+   (`sweep`, resumable; rendered back with `report`), and solve arbitrary
+   DIMACS CNF / colouring files with the built-in CDCL solver. *)
 
 module Sat = Fpgasat_sat
 module G = Fpgasat_graph
@@ -12,6 +14,7 @@ module E = Fpgasat_encodings
 module F = Fpgasat_fpga
 module C = Fpgasat_core
 module Bdd = Fpgasat_bdd
+module Eng = Fpgasat_engine
 open Cmdliner
 
 (* ---------- converters and shared arguments ---------- *)
@@ -202,12 +205,28 @@ let route_cmd =
   let tracks_arg =
     Arg.(value & flag & info [ "tracks" ] ~doc:"Print the per-subnet track assignment.")
   in
-  let run spec width strat budget proof_file tracks =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Print the run as one machine-readable JSON line (the \
+                   sweep record schema) instead of the human report.")
+  in
+  let run spec width strat budget proof_file tracks json =
     let inst = build_instance spec in
+    let t0 = Unix.gettimeofday () in
     let run =
       C.Flow.check_width ~strategy:strat ~budget:(budget_of budget)
         ~want_proof:(proof_file <> None) inst.F.Benchmarks.route ~width
     in
+    if json then begin
+      print_endline
+        (Eng.Run_record.to_line
+           (Eng.Run_record.of_run ~benchmark:spec.F.Benchmarks.name
+              ~wall_seconds:(Unix.gettimeofday () -. t0)
+              run));
+      `Ok ()
+    end
+    else begin
     Printf.printf "benchmark %s, W=%d, strategy %s\n" spec.F.Benchmarks.name width
       (C.Strategy.name strat);
     Printf.printf
@@ -238,11 +257,12 @@ let route_cmd =
     | C.Flow.Timeout ->
         Printf.printf "TIMEOUT: budget exhausted without an answer\n";
         `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Decide detailed routability at a given width.")
     Term.(ret (const run $ benchmark_pos $ width_arg $ strategy_arg $ budget_arg
-               $ proof_arg $ tracks_arg))
+               $ proof_arg $ tracks_arg $ json_arg))
 
 (* ---------- min-width ---------- *)
 
@@ -277,48 +297,253 @@ let min_width_cmd =
 
 (* ---------- portfolio ---------- *)
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains (default: the machine's recommended count).")
+
 let portfolio_cmd =
   let members_arg =
     Arg.(value & opt (list strategy_conv) C.Strategy.paper_portfolio_3
          & info [ "members" ] ~docv:"S1,S2,..."
              ~doc:"Portfolio members (default: the paper's 3-strategy portfolio).")
   in
-  let parallel_arg =
+  let simulate_arg =
     Arg.(value & flag
-         & info [ "parallel" ]
-             ~doc:"Really run one domain per member (default: sequential simulation).")
+         & info [ "simulate" ]
+             ~doc:"Sequential deterministic simulation (default: really \
+                   parallel on the bounded domain pool).")
   in
-  let run spec width members parallel budget =
+  let run spec width members simulate jobs budget =
     let inst = build_instance spec in
+    let mode = if simulate then `Simulated else `Parallel in
     let result =
-      if parallel then
-        C.Portfolio.run_parallel ~budget:(budget_of budget) members
-          inst.F.Benchmarks.route ~width
-      else
-        C.Portfolio.run_simulated ~budget:(budget_of budget) members
-          inst.F.Benchmarks.route ~width
+      Eng.Portfolio.run ~mode ?jobs ~budget:(budget_of budget) members
+        inst.F.Benchmarks.route ~width
     in
     List.iter
-      (fun (m : C.Portfolio.member_result) ->
+      (fun (m : Eng.Portfolio.member_result) ->
         Printf.printf "  %-45s %s  cpu %.3fs  wall %.3fs\n"
-          (C.Strategy.name m.C.Portfolio.strategy)
-          (match m.C.Portfolio.run.C.Flow.outcome with
+          (C.Strategy.name m.Eng.Portfolio.strategy)
+          (match m.Eng.Portfolio.run.C.Flow.outcome with
           | C.Flow.Routable _ -> "ROUTABLE "
           | C.Flow.Unroutable -> "UNROUTABLE"
           | C.Flow.Timeout -> "cancelled/timeout")
-          (C.Flow.total m.C.Portfolio.run.C.Flow.timings)
-          m.C.Portfolio.wall_seconds)
-      result.C.Portfolio.members;
-    match result.C.Portfolio.winner with
+          (C.Flow.total m.Eng.Portfolio.run.C.Flow.timings)
+          m.Eng.Portfolio.wall_seconds)
+      result.Eng.Portfolio.members;
+    match result.Eng.Portfolio.winner with
     | Some w ->
-        Printf.printf "winner: %s\n" (C.Strategy.name w.C.Portfolio.strategy);
+        Printf.printf "winner: %s\n" (C.Strategy.name w.Eng.Portfolio.strategy);
         `Ok ()
     | None -> `Error (false, "no member answered within the budget")
   in
   Cmd.v
     (Cmd.info "portfolio" ~doc:"Run a portfolio of strategies on one width query.")
-    Term.(ret (const run $ benchmark_pos $ width_arg $ members_arg $ parallel_arg
-               $ budget_arg))
+    Term.(ret (const run $ benchmark_pos $ width_arg $ members_arg $ simulate_arg
+               $ jobs_arg $ budget_arg))
+
+(* ---------- sweep ---------- *)
+
+(* a width specifier: absolute, or relative to the benchmark's minimal width *)
+let width_spec_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some w -> Ok (`Abs w)
+    | None -> (
+        match String.lowercase_ascii s with
+        | "wmin" -> Ok (`Wmin 0)
+        | "wmin-1" -> Ok (`Wmin (-1))
+        | "wmin+1" -> Ok (`Wmin 1)
+        | _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "bad width %S (expected an integer, wmin, wmin-1 or wmin+1)"
+                   s)))
+  in
+  let print fmt = function
+    | `Abs w -> Format.fprintf fmt "%d" w
+    | `Wmin 0 -> Format.pp_print_string fmt "wmin"
+    | `Wmin d -> Format.fprintf fmt "wmin%+d" d
+  in
+  Arg.conv (parse, print)
+
+let sweep_cmd =
+  let benchmarks_arg =
+    Arg.(value & opt (list benchmark_conv) F.Benchmarks.specs
+         & info [ "benchmarks" ] ~docv:"B1,B2,..."
+             ~doc:"Benchmarks to sweep (default: all eight).")
+  in
+  let strategies_arg =
+    Arg.(value & opt (list strategy_conv) C.Strategy.paper_portfolio_3
+         & info [ "strategies" ] ~docv:"S1,S2,..."
+             ~doc:"Strategies to sweep (default: the paper's 3-strategy \
+                   portfolio members).")
+  in
+  let widths_arg =
+    Arg.(value & opt (list width_spec_conv) [ `Wmin (-1) ]
+         & info [ "widths" ] ~docv:"W1,W2,..."
+             ~doc:"Widths per benchmark: integers and/or wmin, wmin-1, \
+                   wmin+1 (default: wmin-1, the unroutable configurations).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Stream each completed cell as one JSON line to FILE \
+                   (appended; the durable form of the sweep).")
+  in
+  let resume_arg =
+    Arg.(value & flag
+         & info [ "resume" ]
+             ~doc:"Skip cells already recorded in the $(b,--out) file; a \
+                   torn final line from a killed run is ignored and re-run.")
+  in
+  let run benchmarks strategies widths jobs budget out resume =
+    if resume && out = None then
+      `Error (true, "--resume requires --out FILE")
+    else begin
+      let needs_wmin = List.exists (function `Wmin _ -> true | _ -> false) widths in
+      let instances =
+        List.map
+          (fun (spec : F.Benchmarks.spec) ->
+            let inst = build_instance spec in
+            let w_min =
+              if not needs_wmin then None
+              else begin
+                let search_budget =
+                  match budget with
+                  | None -> Sat.Solver.no_budget
+                  | Some s -> Sat.Solver.time_budget (4. *. s)
+                in
+                match
+                  C.Binary_search.minimal_width ~budget:search_budget
+                    inst.F.Benchmarks.route
+                with
+                | Ok r ->
+                    Printf.eprintf "%-10s w_min = %d\n%!" spec.F.Benchmarks.name
+                      r.C.Binary_search.w_min;
+                    Some r.C.Binary_search.w_min
+                | Error m ->
+                    failwith
+                      (Printf.sprintf "width search failed on %s: %s"
+                         spec.F.Benchmarks.name m)
+              end
+            in
+            (inst, w_min))
+          benchmarks
+      in
+      let jobs_list =
+        List.concat_map
+          (fun ((inst : F.Benchmarks.instance), w_min) ->
+            let widths =
+              List.filter_map
+                (fun spec ->
+                  let w =
+                    match spec with
+                    | `Abs w -> w
+                    | `Wmin d -> Option.get w_min + d
+                  in
+                  if w >= 1 then Some w
+                  else begin
+                    Printf.eprintf "skipping %s width %d (< 1)\n%!"
+                      inst.F.Benchmarks.spec.F.Benchmarks.name w;
+                    None
+                  end)
+                widths
+            in
+            List.concat_map
+              (fun w ->
+                List.map
+                  (fun strategy ->
+                    Eng.Sweep.cell
+                      ~benchmark:inst.F.Benchmarks.spec.F.Benchmarks.name
+                      strategy inst.F.Benchmarks.route ~width:w)
+                  strategies)
+              (List.sort_uniq compare widths))
+          instances
+      in
+      let t0 = Unix.gettimeofday () in
+      let config =
+        {
+          Eng.Sweep.default_config with
+          Eng.Sweep.jobs = Option.value jobs ~default:(Eng.Pool.default_jobs ());
+          budget_seconds = budget;
+          out;
+          resume;
+          on_progress =
+            Some
+              (fun p ->
+                Printf.eprintf "\r[%d/%d done%s]%!" p.Eng.Sweep.completed
+                  p.Eng.Sweep.total
+                  (if p.Eng.Sweep.skipped > 0 then
+                     Printf.sprintf ", %d resumed" p.Eng.Sweep.skipped
+                   else ""));
+        }
+      in
+      let records = Eng.Sweep.run config jobs_list in
+      Printf.eprintf "\n%!";
+      print_string (Eng.Sweep.render_table records);
+      Printf.printf "%s\n" (Eng.Sweep.summary records);
+      Printf.printf "sweep wall time: %.2fs (%d worker domains)\n"
+        (Unix.gettimeofday () -. t0)
+        config.Eng.Sweep.jobs;
+      (match out with
+      | Some path -> Printf.printf "records: %s\n" path
+      | None -> ());
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a benchmarks × strategies × widths matrix on the domain \
+             pool, streaming JSONL results."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "fpgasat sweep --benchmarks alu2,too_large --strategies \
+               muldirect/s1,ITE-linear/s1 --widths wmin --jobs 2 --budget 5 \
+               --out runs.jsonl";
+           `P "Interrupted sweeps continue where they left off: re-run the \
+               same command with --resume.";
+         ])
+    Term.(ret (const run $ benchmarks_arg $ strategies_arg $ widths_arg
+               $ jobs_arg $ budget_arg $ out_arg $ resume_arg))
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"RUNS.jsonl")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Exit non-zero if any line fails to parse or any cell \
+                   crashed (used by CI smoke checks).")
+  in
+  let run file strict =
+    let records, bad = Eng.Sweep.load file in
+    print_string (Eng.Sweep.render_table records);
+    Printf.printf "%s\n" (Eng.Sweep.summary records);
+    if bad > 0 then Printf.printf "unparsable lines: %d\n" bad;
+    let crashed =
+      List.exists
+        (fun (r : Eng.Run_record.t) ->
+          match r.Eng.Run_record.outcome with
+          | Eng.Run_record.Crashed _ -> true
+          | _ -> false)
+        records
+    in
+    if strict && (bad > 0 || crashed || records = []) then
+      `Error (false, "strict check failed: crashed cells or unparsable lines")
+    else `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Render a sweep's JSONL records as the benchmarks × strategies \
+             table (a pure view over the file).")
+    Term.(ret (const run $ file_arg $ strict_arg))
 
 (* ---------- render ---------- *)
 
@@ -533,5 +758,6 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; export_cmd; encode_cmd; route_cmd; min_width_cmd;
-            portfolio_cmd; solve_cmd; color_cmd; render_cmd; route_file_cmd;
+            portfolio_cmd; sweep_cmd; report_cmd; solve_cmd; color_cmd;
+            render_cmd; route_file_cmd;
           ]))

@@ -11,6 +11,7 @@
 module Sat = Fpgasat_sat
 module F = Fpgasat_fpga
 module C = Fpgasat_core
+module P = Fpgasat_engine.Portfolio
 
 let () =
   let spec = Option.get (F.Benchmarks.find "C1355") in
@@ -44,24 +45,24 @@ let () =
   print_endline "3-strategy portfolio on parallel domains:";
   let t0 = Unix.gettimeofday () in
   let result =
-    C.Portfolio.run_parallel ~budget C.Strategy.paper_portfolio_3
+    P.run ~mode:`Parallel ~budget C.Strategy.paper_portfolio_3
       inst.F.Benchmarks.route ~width:(w - 1)
   in
   let portfolio_wall = Unix.gettimeofday () -. t0 in
   List.iter
-    (fun (m : C.Portfolio.member_result) ->
+    (fun (m : P.member_result) ->
       Printf.printf "  %-45s %-18s wall %.3fs\n"
-        (C.Strategy.name m.C.Portfolio.strategy)
-        (match m.C.Portfolio.run.C.Flow.outcome with
+        (C.Strategy.name m.P.strategy)
+        (match m.P.run.C.Flow.outcome with
         | C.Flow.Unroutable -> "UNROUTABLE"
         | C.Flow.Routable _ -> "ROUTABLE"
         | C.Flow.Timeout -> "cancelled")
-        m.C.Portfolio.wall_seconds)
-    result.C.Portfolio.members;
-  (match result.C.Portfolio.winner with
+        m.P.wall_seconds)
+    result.P.members;
+  (match result.P.winner with
   | Some winner ->
       Printf.printf "\nwinner: %s\nportfolio wall time: %.3fs (vs %.3fs single)\n"
-        (C.Strategy.name winner.C.Portfolio.strategy)
+        (C.Strategy.name winner.P.strategy)
         portfolio_wall single_wall
   | None -> print_endline "no member answered in time");
   print_endline

@@ -23,6 +23,15 @@ type run = {
   proof : Sat.Proof.t option;
 }
 
+let outcome_name = function
+  | Routable _ -> "routable"
+  | Unroutable -> "unroutable"
+  | Timeout -> "timeout"
+
+let decisive = function
+  | Routable _ | Unroutable -> true
+  | Timeout -> false
+
 exception Decode_mismatch of string
 
 let timed f =

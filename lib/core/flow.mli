@@ -24,6 +24,13 @@ type outcome =
           exists for this global routing. *)
   | Timeout  (** Budget exhausted: no answer. *)
 
+val outcome_name : outcome -> string
+(** ["routable"], ["unroutable"] or ["timeout"] — the stable tags used by
+    the machine-readable run records (see [Fpgasat_engine.Run_record]). *)
+
+val decisive : outcome -> bool
+(** True on {!Routable} and {!Unroutable}: the question was answered. *)
+
 type run = {
   outcome : outcome;
   timings : timings;

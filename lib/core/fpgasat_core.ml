@@ -3,12 +3,13 @@
     {!Strategy} combines an encoding with a symmetry heuristic and a solver
     preset; {!Flow} runs global routing → colouring → CNF → SAT → verified
     detailed routing (or unroutability proof); {!Binary_search} finds the
-    minimal channel width with an optimality proof; {!Portfolio} runs
-    parallel strategy portfolios; {!Report} formats paper-style tables. *)
+    minimal channel width with an optimality proof; {!Report} formats
+    paper-style tables. Strategy portfolios and multi-cell experiment
+    sweeps live one layer up, in [Fpgasat_engine] (they schedule runs of
+    this flow over a bounded domain pool). *)
 
 module Strategy = Strategy
 module Flow = Flow
 module Binary_search = Binary_search
 module Incremental_width = Incremental_width
-module Portfolio = Portfolio
 module Report = Report

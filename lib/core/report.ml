@@ -47,6 +47,10 @@ let render_table ~header rows =
   String.concat "\n"
     ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
 
+let matrix ?(corner = "") ~rows ~cols ~cell () =
+  render_table ~header:(corner :: cols)
+    (List.map (fun row -> row :: List.map (fun col -> cell ~row ~col) cols) rows)
+
 let section title =
   let bar = String.make (max 8 (String.length title + 4)) '=' in
   Printf.sprintf "\n%s\n= %s\n%s\n" bar title bar

@@ -12,5 +12,18 @@ val render_table : header:string list -> string list list -> string
     left-aligned, the rest right-aligned. Rows shorter than the header are
     padded with empty cells. *)
 
+val matrix :
+  ?corner:string ->
+  rows:string list ->
+  cols:string list ->
+  cell:(row:string -> col:string -> string) ->
+  unit ->
+  string
+(** [matrix ~rows ~cols ~cell ()] renders the full rows × cols table with
+    {!render_table}, computing each body cell with [cell]. [corner] is the
+    header of the row-label column (default empty). The benchmark matrices
+    (benchmarks × strategies) are views produced by this function over
+    collected run records. *)
+
 val section : string -> string
 (** A titled horizontal rule. *)

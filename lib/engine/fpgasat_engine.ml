@@ -1,0 +1,14 @@
+(** The experiment engine: machine-scale execution of benchmark sweeps.
+
+    {!Pool} is a bounded pool of OCaml 5 domains; {!Sweep} runs work queues
+    of [benchmark × strategy × width] cells over it with per-job budgets,
+    crash isolation, streamed JSONL results and resume; {!Run_record} is
+    the stable one-line-JSON schema those results use; {!Portfolio} races
+    strategies on the same pool with first-answer-wins cancellation;
+    {!Json} is the dependency-free JSON substrate. *)
+
+module Json = Json
+module Pool = Pool
+module Run_record = Run_record
+module Sweep = Sweep
+module Portfolio = Portfolio

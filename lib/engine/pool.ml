@@ -1,0 +1,44 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?jobs ?on_done thunks =
+  let n = Array.length thunks in
+  if n = 0 then [||]
+  else begin
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> default_jobs ()
+    in
+    let workers = min jobs n in
+    let results = Array.make n (Error "not run") in
+    let next = Atomic.make 0 in
+    let completed = Atomic.make 0 in
+    let lock = Mutex.create () in
+    let report () =
+      match on_done with
+      | None -> ()
+      | Some f ->
+          let c = 1 + Atomic.fetch_and_add completed 1 in
+          Mutex.lock lock;
+          Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f c)
+    in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            try Ok (thunks.(i) ())
+            with e -> Error (Printexc.to_string e)
+          in
+          results.(i) <- r;
+          report ();
+          loop ()
+        end
+      in
+      loop ()
+    in
+    if workers = 1 then worker ()
+    else begin
+      let domains = List.init workers (fun _ -> Domain.spawn worker) in
+      List.iter Domain.join domains
+    end;
+    results
+  end

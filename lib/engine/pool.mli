@@ -1,0 +1,32 @@
+(** A bounded pool of OCaml 5 domains over a fixed job array.
+
+    This is the parallel substrate of the experiment engine and of
+    {!Portfolio}: instead of spawning one unbounded domain per task, a fixed
+    number of worker domains pull job indices from a shared counter until
+    the queue drains. Results keep the input order, and a job that raises is
+    isolated: its slot becomes [Error msg] and the other jobs are
+    unaffected. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size that saturates the
+    machine without oversubscribing it. *)
+
+val map :
+  ?jobs:int ->
+  ?on_done:(int -> unit) ->
+  (unit -> 'a) array ->
+  ('a, string) result array
+(** [map ~jobs thunks] runs every thunk and returns their results in input
+    order. At most [min jobs (Array.length thunks)] worker domains run at
+    once (default {!default_jobs}; values below 1 are clamped to 1). With
+    [jobs = 1] everything runs sequentially in the calling domain — no
+    domain is spawned, so single-job runs execute in a deterministic order.
+
+    [on_done], if given, is called after each job completes with the number
+    of jobs completed so far (1-based, monotonic); calls are serialised
+    under an internal mutex but may come from worker domains. It must not
+    raise: an exception from [on_done] kills its worker and the jobs that
+    worker would have run are left as [Error].
+
+    A thunk that raises yields [Error (Printexc.to_string exn)] in its
+    slot; the sweep continues. *)

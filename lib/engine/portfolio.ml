@@ -1,0 +1,92 @@
+module Sat = Fpgasat_sat
+module C = Fpgasat_core
+
+type member_result = {
+  strategy : C.Strategy.t;
+  run : C.Flow.run;
+  wall_seconds : float;
+}
+
+type t = { winner : member_result option; members : member_result list }
+type mode = [ `Parallel | `Simulated ]
+
+let decisive m = C.Flow.decisive m.run.C.Flow.outcome
+
+let pick_winner ~by members =
+  List.filter decisive members
+  |> List.sort (fun a b -> compare (by a) (by b))
+  |> function
+  | [] -> None
+  | best :: _ -> Some best
+
+let run_one budget strategy route ~width =
+  let t0 = Unix.gettimeofday () in
+  let run = C.Flow.check_width ~strategy ~budget route ~width in
+  { strategy; run; wall_seconds = Unix.gettimeofday () -. t0 }
+
+let members_of_results strategies results =
+  List.map2
+    (fun strategy result ->
+      match result with
+      | Ok m -> m
+      | Error msg ->
+          failwith
+            (Printf.sprintf "Portfolio.run: member %s raised: %s"
+               (C.Strategy.name strategy) msg))
+    strategies
+    (Array.to_list results)
+
+let run ?(mode = `Parallel) ?jobs ?poll_every
+    ?(budget = Sat.Solver.no_budget) strategies route ~width =
+  if strategies = [] then invalid_arg "Portfolio.run: empty";
+  let budget =
+    match poll_every with
+    | None -> budget
+    | Some n -> Sat.Solver.with_poll_interval n budget
+  in
+  match mode with
+  | `Simulated ->
+      let thunks =
+        Array.of_list
+          (List.map (fun s () -> run_one budget s route ~width) strategies)
+      in
+      let members = members_of_results strategies (Pool.map ~jobs:1 thunks) in
+      (* deterministic accounting: cheapest decisive member by CPU time *)
+      {
+        winner =
+          pick_winner ~by:(fun m -> C.Flow.total m.run.C.Flow.timings) members;
+        members;
+      }
+  | `Parallel ->
+      let stop = Atomic.make false in
+      let first = Atomic.make (-1) in
+      let budget =
+        Sat.Solver.interruptible (fun () -> Atomic.get stop) budget
+      in
+      let worker i strategy () =
+        let result = run_one budget strategy route ~width in
+        if decisive result then begin
+          ignore (Atomic.compare_and_set first (-1) i);
+          Atomic.set stop true
+        end;
+        result
+      in
+      let thunks =
+        Array.of_list (List.mapi (fun i s -> worker i s) strategies)
+      in
+      let members = members_of_results strategies (Pool.map ?jobs thunks) in
+      (* first-answer-wins: the member whose decisive answer landed first in
+         real time (CAS order), not whichever happens to report the smaller
+         wall time after the fact *)
+      let winner =
+        match Atomic.get first with
+        | -1 -> pick_winner ~by:(fun m -> m.wall_seconds) members
+        | i -> Some (List.nth members i)
+      in
+      { winner; members }
+
+let run_simulated ?budget strategies route ~width =
+  run ~mode:`Simulated ?budget strategies route ~width
+
+let run_parallel ?budget strategies route ~width =
+  run ~mode:`Parallel ?budget strategies route ~width

@@ -1,0 +1,230 @@
+module Sat = Fpgasat_sat
+module C = Fpgasat_core
+
+type outcome =
+  | Routable
+  | Unroutable
+  | Timeout
+  | Crashed of string
+
+type t = {
+  benchmark : string;
+  strategy : string;
+  width : int;
+  outcome : outcome;
+  timings : C.Flow.timings;
+  wall_seconds : float;
+  cnf_vars : int;
+  cnf_clauses : int;
+  stats : Sat.Stats.t;
+}
+
+let schema_version = "fpgasat.run/1"
+
+let make_key ~benchmark ~strategy ~width =
+  Printf.sprintf "%s|%s|%d" benchmark strategy width
+
+let key r = make_key ~benchmark:r.benchmark ~strategy:r.strategy ~width:r.width
+
+let outcome_name = function
+  | Routable -> "routable"
+  | Unroutable -> "unroutable"
+  | Timeout -> "timeout"
+  | Crashed _ -> "crashed"
+
+let decisive r =
+  match r.outcome with
+  | Routable | Unroutable -> true
+  | Timeout | Crashed _ -> false
+
+let total_seconds r = C.Flow.total r.timings
+
+let of_run ~benchmark ~wall_seconds (run : C.Flow.run) =
+  {
+    benchmark;
+    strategy = C.Strategy.name run.C.Flow.strategy;
+    width = run.C.Flow.width;
+    outcome =
+      (match run.C.Flow.outcome with
+      | C.Flow.Routable _ -> Routable
+      | C.Flow.Unroutable -> Unroutable
+      | C.Flow.Timeout -> Timeout);
+    timings = run.C.Flow.timings;
+    wall_seconds;
+    cnf_vars = run.C.Flow.cnf_vars;
+    cnf_clauses = run.C.Flow.cnf_clauses;
+    stats = run.C.Flow.solver_stats;
+  }
+
+let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
+  {
+    benchmark;
+    strategy;
+    width;
+    outcome = Crashed msg;
+    timings = { C.Flow.to_graph = 0.; to_cnf = 0.; solving = 0. };
+    wall_seconds;
+    cnf_vars = 0;
+    cnf_clauses = 0;
+    stats = Sat.Stats.create ();
+  }
+
+(* ---------- JSON ---------- *)
+
+let to_json r =
+  let crash =
+    match r.outcome with Crashed m -> [ ("crash", Json.String m) ] | _ -> []
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String schema_version);
+       ("benchmark", Json.String r.benchmark);
+       ("strategy", Json.String r.strategy);
+       ("width", Json.Int r.width);
+       ("outcome", Json.String (outcome_name r.outcome));
+     ]
+    @ crash
+    @ [
+        ( "timings",
+          Json.Obj
+            [
+              ("to_graph", Json.Float r.timings.C.Flow.to_graph);
+              ("to_cnf", Json.Float r.timings.C.Flow.to_cnf);
+              ("solving", Json.Float r.timings.C.Flow.solving);
+            ] );
+        ("wall_seconds", Json.Float r.wall_seconds);
+        ( "cnf",
+          Json.Obj
+            [ ("vars", Json.Int r.cnf_vars); ("clauses", Json.Int r.cnf_clauses) ]
+        );
+        ( "solver",
+          Json.Obj
+            [
+              ("decisions", Json.Int r.stats.Sat.Stats.decisions);
+              ("propagations", Json.Int r.stats.Sat.Stats.propagations);
+              ("conflicts", Json.Int r.stats.Sat.Stats.conflicts);
+              ("restarts", Json.Int r.stats.Sat.Stats.restarts);
+              ("learnt_clauses", Json.Int r.stats.Sat.Stats.learnt_clauses);
+              ("learnt_literals", Json.Int r.stats.Sat.Stats.learnt_literals);
+              ("deleted_clauses", Json.Int r.stats.Sat.Stats.deleted_clauses);
+              ( "max_decision_level",
+                Json.Int r.stats.Sat.Stats.max_decision_level );
+            ] );
+      ])
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let get obj key =
+    match Json.find obj key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing key %S" key)
+  in
+  let str obj key =
+    let* v = get obj key in
+    match v with
+    | Json.String s -> Ok s
+    | _ -> Error (Printf.sprintf "key %S is not a string" key)
+  in
+  let int obj key =
+    let* v = get obj key in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "key %S is not an integer" key)
+  in
+  let num obj key =
+    let* v = get obj key in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "key %S is not a number" key)
+  in
+  let* schema = str json "schema" in
+  if schema <> schema_version then
+    Error (Printf.sprintf "unsupported schema %S (want %S)" schema schema_version)
+  else
+    let* benchmark = str json "benchmark" in
+    let* strategy = str json "strategy" in
+    let* width = int json "width" in
+    let* outcome_tag = str json "outcome" in
+    let* outcome =
+      match outcome_tag with
+      | "routable" -> Ok Routable
+      | "unroutable" -> Ok Unroutable
+      | "timeout" -> Ok Timeout
+      | "crashed" ->
+          let* msg = str json "crash" in
+          Ok (Crashed msg)
+      | other -> Error (Printf.sprintf "unknown outcome %S" other)
+    in
+    let* timings = get json "timings" in
+    let* to_graph = num timings "to_graph" in
+    let* to_cnf = num timings "to_cnf" in
+    let* solving = num timings "solving" in
+    let* wall_seconds = num json "wall_seconds" in
+    let* cnf = get json "cnf" in
+    let* cnf_vars = int cnf "vars" in
+    let* cnf_clauses = int cnf "clauses" in
+    let* solver = get json "solver" in
+    let* decisions = int solver "decisions" in
+    let* propagations = int solver "propagations" in
+    let* conflicts = int solver "conflicts" in
+    let* restarts = int solver "restarts" in
+    let* learnt_clauses = int solver "learnt_clauses" in
+    let* learnt_literals = int solver "learnt_literals" in
+    let* deleted_clauses = int solver "deleted_clauses" in
+    let* max_decision_level = int solver "max_decision_level" in
+    let stats = Sat.Stats.create () in
+    stats.Sat.Stats.decisions <- decisions;
+    stats.Sat.Stats.propagations <- propagations;
+    stats.Sat.Stats.conflicts <- conflicts;
+    stats.Sat.Stats.restarts <- restarts;
+    stats.Sat.Stats.learnt_clauses <- learnt_clauses;
+    stats.Sat.Stats.learnt_literals <- learnt_literals;
+    stats.Sat.Stats.deleted_clauses <- deleted_clauses;
+    stats.Sat.Stats.max_decision_level <- max_decision_level;
+    Ok
+      {
+        benchmark;
+        strategy;
+        width;
+        outcome;
+        timings = { C.Flow.to_graph; to_cnf; solving };
+        wall_seconds;
+        cnf_vars;
+        cnf_clauses;
+        stats;
+      }
+
+let to_line r = Json.to_string (to_json r)
+
+let of_line line =
+  match Json.of_string (String.trim line) with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok json -> of_json json
+
+let equal a b =
+  let feq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  let stats_eq (x : Sat.Stats.t) (y : Sat.Stats.t) =
+    x.Sat.Stats.decisions = y.Sat.Stats.decisions
+    && x.Sat.Stats.propagations = y.Sat.Stats.propagations
+    && x.Sat.Stats.conflicts = y.Sat.Stats.conflicts
+    && x.Sat.Stats.restarts = y.Sat.Stats.restarts
+    && x.Sat.Stats.learnt_clauses = y.Sat.Stats.learnt_clauses
+    && x.Sat.Stats.learnt_literals = y.Sat.Stats.learnt_literals
+    && x.Sat.Stats.deleted_clauses = y.Sat.Stats.deleted_clauses
+    && x.Sat.Stats.max_decision_level = y.Sat.Stats.max_decision_level
+  in
+  String.equal a.benchmark b.benchmark
+  && String.equal a.strategy b.strategy
+  && a.width = b.width
+  && (match (a.outcome, b.outcome) with
+     | Routable, Routable | Unroutable, Unroutable | Timeout, Timeout -> true
+     | Crashed x, Crashed y -> String.equal x y
+     | (Routable | Unroutable | Timeout | Crashed _), _ -> false)
+  && feq a.timings.C.Flow.to_graph b.timings.C.Flow.to_graph
+  && feq a.timings.C.Flow.to_cnf b.timings.C.Flow.to_cnf
+  && feq a.timings.C.Flow.solving b.timings.C.Flow.solving
+  && feq a.wall_seconds b.wall_seconds
+  && a.cnf_vars = b.cnf_vars
+  && a.cnf_clauses = b.cnf_clauses
+  && stats_eq a.stats b.stats

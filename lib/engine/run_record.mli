@@ -1,0 +1,79 @@
+(** The stable machine-readable schema for one experiment cell.
+
+    One record = one [Flow.check_width] run (or a crash while attempting
+    it) on one [benchmark × strategy × width] cell. Records serialise to a
+    single JSON line and parse back loss-free, which makes files of them
+    (JSONL) the durable form of every sweep: text tables are pure views
+    over parsed records, and a sweep restarted with [--resume] skips the
+    cells whose records are already on disk.
+
+    Schema (version [fpgasat.run/1]; unknown extra keys are ignored on
+    parse so the schema can grow backward-compatibly):
+
+    {v
+    {"schema":"fpgasat.run/1","benchmark":"alu2",
+     "strategy":"ITE-linear-2+muldirect/s1@siege","width":4,
+     "outcome":"routable|unroutable|timeout|crashed","crash":"msg?",
+     "timings":{"to_graph":s,"to_cnf":s,"solving":s},"wall_seconds":s,
+     "cnf":{"vars":n,"clauses":n},
+     "solver":{"decisions":n,"propagations":n,"conflicts":n,"restarts":n,
+               "learnt_clauses":n,"learnt_literals":n,"deleted_clauses":n,
+               "max_decision_level":n}}
+    v}
+
+    The ["crash"] key is present exactly when [outcome] is ["crashed"]. *)
+
+type outcome =
+  | Routable
+  | Unroutable
+  | Timeout
+  | Crashed of string
+      (** The cell's thunk raised; the payload is the exception text. A
+          crashed cell never aborts the sweep it belongs to. *)
+
+type t = {
+  benchmark : string;
+  strategy : string;  (** {!Fpgasat_core.Strategy.name} form. *)
+  width : int;
+  outcome : outcome;
+  timings : Fpgasat_core.Flow.timings;
+  wall_seconds : float;
+  cnf_vars : int;
+  cnf_clauses : int;
+  stats : Fpgasat_sat.Stats.t;
+}
+
+val schema_version : string
+(** ["fpgasat.run/1"]. *)
+
+val make_key : benchmark:string -> strategy:string -> width:int -> string
+val key : t -> string
+(** The cell identity ["benchmark|strategy|width"] — what resume
+    deduplicates on. *)
+
+val of_run :
+  benchmark:string -> wall_seconds:float -> Fpgasat_core.Flow.run -> t
+
+val crashed :
+  benchmark:string ->
+  strategy:string ->
+  width:int ->
+  wall_seconds:float ->
+  string ->
+  t
+
+val outcome_name : outcome -> string
+val decisive : t -> bool
+(** Routable or Unroutable. *)
+
+val total_seconds : t -> float
+(** Paper-style total CPU time: graph + CNF + solving. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val to_line : t -> string
+(** One JSON line, without the trailing newline. *)
+
+val of_line : string -> (t, string) result
+val equal : t -> t -> bool
+(** Structural; floats compared bit-exactly (round-trip property). *)

@@ -1,0 +1,228 @@
+module Sat = Fpgasat_sat
+module C = Fpgasat_core
+
+type job = {
+  benchmark : string;
+  strategy : string;
+  width : int;
+  run : budget:Sat.Solver.budget -> C.Flow.run;
+}
+
+let cell ~benchmark strategy route ~width =
+  {
+    benchmark;
+    strategy = C.Strategy.name strategy;
+    width;
+    run = (fun ~budget -> C.Flow.check_width ~strategy ~budget route ~width);
+  }
+
+type progress = { completed : int; total : int; skipped : int }
+
+type config = {
+  jobs : int;
+  budget_seconds : float option;
+  poll_every : int;
+  out : string option;
+  resume : bool;
+  on_progress : (progress -> unit) option;
+}
+
+let default_config =
+  {
+    jobs = Pool.default_jobs ();
+    budget_seconds = None;
+    poll_every = Sat.Solver.default_poll_interval;
+    out = None;
+    resume = false;
+    on_progress = None;
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let records = ref [] in
+      let bad = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Run_record.of_line line with
+             | Ok r -> records := r :: !records
+             | Error _ -> incr bad
+         done
+       with End_of_file -> ());
+      (List.rev !records, !bad))
+
+let job_key (j : job) =
+  Run_record.make_key ~benchmark:j.benchmark ~strategy:j.strategy ~width:j.width
+
+(* The per-job budget: the configured wall-clock deadline as an interrupt
+   hook (Sys.time is process CPU time, which accumulates across all worker
+   domains and would shrink every job's budget under parallelism), with the
+   configured poll interval threaded through. *)
+let job_budget config =
+  let budget =
+    Sat.Solver.with_poll_interval config.poll_every Sat.Solver.no_budget
+  in
+  match config.budget_seconds with
+  | None -> budget
+  | Some seconds ->
+      let deadline = Unix.gettimeofday () +. seconds in
+      Sat.Solver.interruptible (fun () -> Unix.gettimeofday () > deadline) budget
+
+let run config jobs =
+  let total = List.length jobs in
+  let known =
+    match config.out with
+    | Some path when config.resume && Sys.file_exists path ->
+        let records, _torn = load path in
+        let tbl = Hashtbl.create (List.length records) in
+        List.iter (fun r -> Hashtbl.replace tbl (Run_record.key r) r) records;
+        tbl
+    | _ -> Hashtbl.create 0
+  in
+  let skipped = ref 0 in
+  let cached, pending =
+    List.partition_map
+      (fun job ->
+        match Hashtbl.find_opt known (job_key job) with
+        | Some r ->
+            incr skipped;
+            Left (job_key job, r)
+        | None -> Right job)
+      jobs
+  in
+  let skipped = !skipped in
+  let oc =
+    Option.map
+      (fun path -> open_out_gen [ Open_append; Open_creat ] 0o644 path)
+      config.out
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr oc)
+    (fun () ->
+      let lock = Mutex.create () in
+      let completed = ref skipped in
+      let report () =
+        Mutex.lock lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock lock)
+          (fun () ->
+            incr completed;
+            match config.on_progress with
+            | Some f -> ( try f { completed = !completed; total; skipped } with _ -> ())
+            | None -> ())
+      in
+      let write record =
+        match oc with
+        | None -> ()
+        | Some oc ->
+            Mutex.lock lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock lock)
+              (fun () ->
+                output_string oc (Run_record.to_line record);
+                output_char oc '\n';
+                flush oc)
+      in
+      (match config.on_progress with
+      | Some f when skipped > 0 -> (
+          try f { completed = skipped; total; skipped } with _ -> ())
+      | _ -> ());
+      let thunks =
+        Array.of_list
+          (List.map
+             (fun job () ->
+               let t0 = Unix.gettimeofday () in
+               let record =
+                 match job.run ~budget:(job_budget config) with
+                 | run ->
+                     Run_record.of_run ~benchmark:job.benchmark
+                       ~wall_seconds:(Unix.gettimeofday () -. t0)
+                       run
+                 | exception e ->
+                     Run_record.crashed ~benchmark:job.benchmark
+                       ~strategy:job.strategy ~width:job.width
+                       ~wall_seconds:(Unix.gettimeofday () -. t0)
+                       (Printexc.to_string e)
+               in
+               write record;
+               report ();
+               record)
+             pending)
+      in
+      let results = Pool.map ~jobs:config.jobs thunks in
+      (* A worker can only yield Error if the results file write raised —
+         surface that instead of fabricating a record. *)
+      Array.iter
+        (function Ok _ -> () | Error m -> raise (Sys_error m))
+        results;
+      let pending = Array.of_list pending in
+      let fresh = Hashtbl.create (Array.length results) in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok record -> Hashtbl.replace fresh (job_key pending.(i)) record
+          | Error _ -> ())
+        results;
+      let cached_tbl = Hashtbl.create (List.length cached) in
+      List.iter (fun (k, r) -> Hashtbl.replace cached_tbl k r) cached;
+      List.map
+        (fun job ->
+          let k = job_key job in
+          match Hashtbl.find_opt cached_tbl k with
+          | Some r -> r
+          | None -> Hashtbl.find fresh k)
+        jobs)
+
+(* ---------- views ---------- *)
+
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let cell_text (r : Run_record.t) =
+  match r.Run_record.outcome with
+  | Run_record.Timeout -> "T/O"
+  | Run_record.Crashed _ -> "crash"
+  | Run_record.Routable | Run_record.Unroutable ->
+      C.Report.format_seconds (Run_record.total_seconds r)
+
+let render_table records =
+  let row_of (r : Run_record.t) =
+    Printf.sprintf "%s (W=%d)" r.Run_record.benchmark r.Run_record.width
+  in
+  let rows = dedup (List.map row_of records) in
+  let cols = dedup (List.map (fun r -> r.Run_record.strategy) records) in
+  let tbl = Hashtbl.create (List.length records) in
+  List.iter
+    (fun r -> Hashtbl.replace tbl (row_of r, r.Run_record.strategy) r)
+    records;
+  C.Report.matrix ~corner:"Benchmark" ~rows ~cols
+    ~cell:(fun ~row ~col ->
+      match Hashtbl.find_opt tbl (row, col) with
+      | Some r -> cell_text r
+      | None -> "-")
+    ()
+
+let summary records =
+  let count p = List.length (List.filter p records) in
+  Printf.sprintf
+    "%d cells: %d routable, %d unroutable, %d timeout, %d crashed"
+    (List.length records)
+    (count (fun r -> r.Run_record.outcome = Run_record.Routable))
+    (count (fun r -> r.Run_record.outcome = Run_record.Unroutable))
+    (count (fun r -> r.Run_record.outcome = Run_record.Timeout))
+    (count (fun r ->
+         match r.Run_record.outcome with
+         | Run_record.Crashed _ -> true
+         | _ -> false))

@@ -1,0 +1,82 @@
+(** The domain-pool experiment engine.
+
+    A sweep is a work queue of jobs — [benchmark × strategy × width] cells,
+    or arbitrary thunks returning a {!Fpgasat_core.Flow.run} — executed by
+    a fixed {!Pool} of worker domains. The engine provides:
+
+    - {b per-job budgets}: every job receives a budget whose interrupt hook
+      cancels it cooperatively ({!Fpgasat_sat.Solver.budget}) once its
+      wall-clock deadline passes (wall clock, not [Sys.time], because
+      process CPU time accumulates across all running domains);
+    - {b crash isolation}: a job that raises becomes a
+      [Run_record.Crashed] record, never killing the sweep;
+    - {b streamed JSONL}: each completed cell is appended to the results
+      file as one {!Run_record} line and flushed before the next progress
+      report, so a killed sweep loses at most the in-flight cells;
+    - {b resume}: with [resume = true] the engine first parses the results
+      file and skips every cell whose key is already recorded (a torn final
+      line — the signature of a killed run — is ignored and its cell
+      re-run);
+    - {b progress}: an optional callback observes [completed/total] as
+      cells land.
+
+    Text tables over sweep results are pure views: see {!render_table}. *)
+
+type job = {
+  benchmark : string;
+  strategy : string;  (** {!Fpgasat_core.Strategy.name} form — the cell key. *)
+  width : int;
+  run : budget:Fpgasat_sat.Solver.budget -> Fpgasat_core.Flow.run;
+      (** The work. The engine passes the per-job budget (deadline +
+          interrupt + poll interval already threaded in). *)
+}
+
+val cell :
+  benchmark:string ->
+  Fpgasat_core.Strategy.t ->
+  Fpgasat_fpga.Global_route.t ->
+  width:int ->
+  job
+(** The standard cell: [Flow.check_width] of the strategy on the route. *)
+
+type progress = {
+  completed : int;  (** Cells finished so far, including skipped ones. *)
+  total : int;
+  skipped : int;  (** Cells satisfied from the resume file. *)
+}
+
+type config = {
+  jobs : int;  (** Worker domains; clamped to at least 1. *)
+  budget_seconds : float option;
+      (** Per-job wall-clock deadline; [None] = unbounded. *)
+  poll_every : int;
+      (** Interrupt poll interval threaded into each job's budget
+          (conflicts; see {!Fpgasat_sat.Solver.budget}). *)
+  out : string option;  (** JSONL results file, appended to. *)
+  resume : bool;  (** Skip cells already recorded in [out]. *)
+  on_progress : (progress -> unit) option;
+}
+
+val default_config : config
+(** [jobs = Pool.default_jobs ()], no budget, default poll interval, no
+    output file, no resume, no progress callback. *)
+
+val run : config -> job list -> Run_record.t list
+(** Executes the queue and returns one record per job, in job order.
+    Duplicate keys in the job list are executed once each but resume only
+    distinguishes keys, so keep keys unique. Raises [Sys_error] if the
+    results file cannot be opened or written. *)
+
+val load : string -> Run_record.t list * int
+(** Parses a JSONL results file: the valid records in file order, plus the
+    number of lines that failed to parse (empty lines are not counted). *)
+
+val render_table : Run_record.t list -> string
+(** The benchmarks × strategies matrix as a monospace table — a pure view
+    over records. Rows are ["bench (W=w)"] in first-appearance order,
+    columns strategies in first-appearance order; cells show total CPU
+    seconds, [T/O] for timeouts and [crash] for crashed cells, [-] for
+    absent combinations. *)
+
+val summary : Run_record.t list -> string
+(** One line: cell counts by outcome. *)

@@ -35,12 +35,23 @@ type budget = {
   max_conflicts : int option;
   max_seconds : float option;
   interrupt : (unit -> bool) option;
+  poll_every : int;
 }
 
-let no_budget = { max_conflicts = None; max_seconds = None; interrupt = None }
+let default_poll_interval = 256
+
+let no_budget =
+  {
+    max_conflicts = None;
+    max_seconds = None;
+    interrupt = None;
+    poll_every = default_poll_interval;
+  }
+
 let conflict_budget n = { no_budget with max_conflicts = Some n }
 let time_budget s = { no_budget with max_seconds = Some s }
 let interruptible f budget = { budget with interrupt = Some f }
+let with_poll_interval n budget = { budget with poll_every = max 1 n }
 
 type result = Sat of bool array | Unsat | Unknown
 
@@ -474,16 +485,17 @@ let run_search s budget assumptions =
   let start_time = Sys.time () in
   let start_conflicts = st.stats.Stats.conflicts in
   let conflicts_at_restart = ref 0 in
+  let poll_every = max 1 budget.poll_every in
   let over_budget () =
     (match budget.max_conflicts with
     | Some m when st.stats.Stats.conflicts - start_conflicts >= m -> true
     | Some _ | None -> false)
     || (match budget.max_seconds with
-       | Some sec when st.stats.Stats.conflicts land 255 = 0 ->
+       | Some sec when st.stats.Stats.conflicts mod poll_every = 0 ->
            Sys.time () -. start_time > sec
        | Some _ | None -> false)
     || match budget.interrupt with
-       | Some f when st.stats.Stats.conflicts land 255 = 0 -> f ()
+       | Some f when st.stats.Stats.conflicts mod poll_every = 0 -> f ()
        | Some _ | None -> false
   in
   let result = ref Q_unknown in

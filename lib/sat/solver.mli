@@ -33,14 +33,30 @@ type budget = {
   max_seconds : float option;
   interrupt : (unit -> bool) option;
       (** Polled periodically; returning [true] aborts the search with
-          [Unknown]. Used by portfolios to cancel losing runs. *)
+          [Unknown]. Used by portfolios and the experiment engine to cancel
+          losing or over-deadline runs. *)
+  poll_every : int;
+      (** Poll granularity, in conflicts: [max_seconds] and [interrupt] are
+          only checked when the episode's conflict count is a multiple of
+          [poll_every] (default {!default_poll_interval} = 256). Cancellation
+          latency is therefore up to [poll_every] conflicts plus the work
+          between two conflicts; lower it for tighter cancellation, at the
+          cost of calling the hook more often. [max_conflicts] is exact and
+          unaffected. *)
 }
+
+val default_poll_interval : int
+(** 256 conflicts. *)
 
 val no_budget : budget
 val conflict_budget : int -> budget
 val time_budget : float -> budget
 val interruptible : (unit -> bool) -> budget -> budget
 (** Adds an interrupt hook to an existing budget. *)
+
+val with_poll_interval : int -> budget -> budget
+(** Overrides {!field-budget.poll_every}; values below 1 are clamped to 1
+    (poll at every conflict). *)
 
 type result =
   | Sat of bool array

@@ -1,6 +1,5 @@
 (* Tests for the core flow: strategies, the end-to-end check_width pipeline,
-   minimal-width binary search, portfolios (simulated and really parallel),
-   and report formatting. *)
+   minimal-width binary search, and report formatting. *)
 
 module Sat = Fpgasat_sat
 module G = Fpgasat_graph
@@ -236,57 +235,9 @@ let test_solver_assumptions_basic () =
   | Sat.Solver.Q_sat _ -> ()
   | Sat.Solver.Q_unsat | Sat.Solver.Q_unknown -> Alcotest.fail "still satisfiable"
 
-(* --- portfolio --- *)
-
-let test_portfolio_simulated () =
-  let width = max 1 (small_ub - 1) in
-  let p = C.Portfolio.run_simulated Strategy.paper_portfolio_3 small_route ~width in
-  Alcotest.(check int) "all members ran" 3 (List.length p.C.Portfolio.members);
-  match p.C.Portfolio.winner with
-  | None -> Alcotest.fail "no winner without budgets"
-  | Some w ->
-      let w_time = Flow.total w.C.Portfolio.run.Flow.timings in
-      List.iter
-        (fun m ->
-          Alcotest.(check bool) "winner is fastest" true
-            (w_time <= Flow.total m.C.Portfolio.run.Flow.timings +. 1e-9))
-        p.C.Portfolio.members
-
-let test_portfolio_members_agree () =
-  let width = max 1 (small_ub - 1) in
-  let p = C.Portfolio.run_simulated Strategy.paper_portfolio_3 small_route ~width in
-  let verdicts =
-    List.filter_map
-      (fun m ->
-        match m.C.Portfolio.run.Flow.outcome with
-        | Flow.Routable _ -> Some true
-        | Flow.Unroutable -> Some false
-        | Flow.Timeout -> None)
-      p.C.Portfolio.members
-  in
-  match verdicts with
-  | [] -> Alcotest.fail "no decisive members"
-  | v :: rest -> List.iter (fun v' -> Alcotest.(check bool) "agree" v v') rest
-
-let test_portfolio_parallel () =
-  let width = max 1 (small_ub - 1) in
-  let p = C.Portfolio.run_parallel Strategy.paper_portfolio_2 small_route ~width in
-  Alcotest.(check int) "two members" 2 (List.length p.C.Portfolio.members);
-  match p.C.Portfolio.winner with
-  | None -> Alcotest.fail "parallel portfolio found no answer"
-  | Some w -> (
-      match w.C.Portfolio.run.Flow.outcome with
-      | Flow.Routable d ->
-          Alcotest.(check bool) "verified routing" true
-            (Array.length d.F.Detailed_route.tracks > 0)
-      | Flow.Unroutable -> ()
-      | Flow.Timeout -> Alcotest.fail "winner cannot be a timeout")
-
-let test_portfolio_empty_rejected () =
-  Alcotest.check_raises "empty" (Invalid_argument "Portfolio.run_simulated: empty")
-    (fun () -> ignore (C.Portfolio.run_simulated [] small_route ~width:2))
-
 (* --- report --- *)
+(* portfolio tests live in test_engine.ml, next to the engine the
+   portfolios now run on *)
 
 let test_format_seconds () =
   Alcotest.(check string) "small" "0.10" (C.Report.format_seconds 0.1);
@@ -346,13 +297,6 @@ let () =
           Alcotest.test_case "matches binary search" `Quick
             test_incremental_matches_binary_search;
           Alcotest.test_case "other encodings" `Quick test_incremental_other_encodings;
-        ] );
-      ( "portfolio",
-        [
-          Alcotest.test_case "simulated" `Quick test_portfolio_simulated;
-          Alcotest.test_case "members agree" `Quick test_portfolio_members_agree;
-          Alcotest.test_case "parallel" `Quick test_portfolio_parallel;
-          Alcotest.test_case "empty rejected" `Quick test_portfolio_empty_rejected;
         ] );
       ( "report",
         [

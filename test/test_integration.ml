@@ -133,19 +133,20 @@ let test_strategies_consistent_on_alu2 () =
         strategies
 
 let test_portfolio_on_benchmark () =
+  let module P = Fpgasat_engine.Portfolio in
   let width = alu2.F.Benchmarks.max_congestion in
   let p =
-    C.Portfolio.run_simulated ~budget C.Strategy.paper_portfolio_3
+    P.run ~mode:`Simulated ~budget C.Strategy.paper_portfolio_3
       alu2.F.Benchmarks.route ~width
   in
-  match p.C.Portfolio.winner with
+  match p.P.winner with
   | Some w ->
       Alcotest.(check bool) "portfolio time <= member times" true
         (List.for_all
            (fun m ->
-             Flow.total w.C.Portfolio.run.Flow.timings
-             <= Flow.total m.C.Portfolio.run.Flow.timings +. 1e-9)
-           p.C.Portfolio.members)
+             Flow.total w.P.run.Flow.timings
+             <= Flow.total m.P.run.Flow.timings +. 1e-9)
+           p.P.members)
   | None -> Alcotest.fail "portfolio found no answer"
 
 let test_drat_check_validates_flow_proof () =
