@@ -14,6 +14,10 @@
      portfolio  the 2- and 3-strategy parallel portfolios (Sect. 6)
      ablations  at-most-one (direct vs muldirect) and shared-vs-private
                 bottom variables (DESIGN.md decisions 1-2)
+     certify    watched-literal DRAT checker vs the quadratic reference
+                checker on a bench-sized proof, plus a differential fuzz
+                sweep (CDCL vs DPLL vs exact colouring, certified) across
+                every registry encoding
 
    --bechamel adds micro-benchmarks (one Bechamel Test.make per
    table/figure): clause emission, tree construction, translation-to-CNF
@@ -46,16 +50,17 @@ module Run_record = Eng.Run_record
 
 let budget_seconds = ref 30.
 let sections = ref
-    "table1,figure1,table2,routable,solvers,portfolio,ablations,baselines,extensions,incremental,channel"
+    "table1,figure1,table2,routable,solvers,portfolio,ablations,baselines,extensions,incremental,channel,certify"
 let with_bechamel = ref false
 let encode_bench_only = ref false
 let jobs = ref 1
 let out_file = ref ""
 let resume = ref false
+let certify = ref false
 
 let usage =
   "main.exe [--budget SEC] [--sections a,b,c] [--jobs N] [--out FILE.jsonl] \
-   [--resume] [--bechamel] [--encode-bench]"
+   [--resume] [--certify] [--bechamel] [--encode-bench]"
 
 let arg_spec =
   [
@@ -68,6 +73,10 @@ let arg_spec =
       Arg.Set_string out_file,
       "FILE stream completed cells of the matrix sections as JSON lines" );
     ("--resume", Arg.Set resume, " skip cells already recorded in the --out file");
+    ( "--certify",
+      Arg.Set certify,
+      " independently certify every decisive cell of the matrix sections \
+       (DRAT check on UNSAT, model + architecture check on SAT)" );
     ("--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks");
     ( "--encode-bench",
       Arg.Set encode_bench_only,
@@ -81,6 +90,7 @@ let sweep_config () =
     budget_seconds = Some !budget_seconds;
     out = (if !out_file = "" then None else Some !out_file);
     resume = !resume;
+    certify = !certify;
     on_progress =
       Some
         (fun p ->
@@ -838,6 +848,154 @@ let section_bechamel () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Certification                                                        *)
+
+(* Two parts. (a) Checker speedup: solve the unroutable alu2 configuration
+   once with proof recording, then time the watched-literal checker against
+   the quadratic reference checker on the same trace — the before/after
+   number quoted in EXPERIMENTS.md. (b) Differential fuzz: on random small
+   routes, every registry encoding must agree with plain DPLL on the CNF
+   and with exact branch-and-bound colouring on the conflict graph, and
+   every decisive answer must certify. *)
+let section_certify () =
+  print_string (Report.section "Certification: watched-literal DRAT checker");
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* (a) speedup on a bench-sized proof *)
+  let spec = Option.get (F.Benchmarks.find "alu2") in
+  let inst = F.Benchmarks.build spec in
+  let search_budget = Sat.Solver.time_budget (4. *. !budget_seconds) in
+  let w_min =
+    match
+      C.Binary_search.minimal_width ~strategy:Strategy.best_single
+        ~budget:search_budget inst.F.Benchmarks.route
+    with
+    | Ok r -> r.C.Binary_search.w_min
+    | Error m -> failwith ("width search failed on alu2: " ^ m)
+  in
+  let width = max 1 (w_min - 1) in
+  let strat = Strategy.best_single in
+  let csp =
+    E.Csp.make (F.Conflict_graph.build inst.F.Benchmarks.route) ~k:width
+  in
+  let encoded =
+    E.Csp_encode.encode ?symmetry:strat.Strategy.symmetry
+      strat.Strategy.encoding csp
+  in
+  let cnf = encoded.E.Csp_encode.cnf in
+  let proof = Sat.Proof.create () in
+  (match Sat.Solver.solve ~config:strat.Strategy.solver ~proof cnf with
+  | Sat.Solver.Unsat, _ -> ()
+  | _ -> failwith "expected alu2 below w_min to be UNSAT");
+  let checked, fast_s = time (fun () -> Sat.Drat_check.check cnf proof) in
+  let stats =
+    match checked with
+    | Ok s -> s
+    | Error e ->
+        failwith (Format.asprintf "checker rejected: %a" Sat.Drat_check.pp_error e)
+  in
+  let ref_result, ref_s =
+    time (fun () -> Sat.Drat_check.check_reference cnf proof)
+  in
+  (match ref_result with
+  | Ok () -> ()
+  | Error e ->
+      failwith
+        (Format.asprintf "reference checker rejected: %a" Sat.Drat_check.pp_error
+           e));
+  Printf.printf
+    "alu2 W=%d (%d vars, %d clauses, %d proof steps):\n\
+    \  watched-literal checker: %.3fs\n\
+    \  reference checker:       %.3fs  (%.1fx speedup)\n"
+    width (Sat.Cnf.num_vars cnf) (Sat.Cnf.num_clauses cnf)
+    (Sat.Proof.num_steps proof) fast_s ref_s (ref_s /. fast_s);
+  Format.printf "  %a@." Sat.Drat_check.pp_stats stats;
+  (* (b) differential fuzz across the registry *)
+  let cells = ref 0 and certified = ref 0 and mismatches = ref 0 in
+  for seed = 1 to 5 do
+    let arch = F.Arch.create 4 in
+    let rng = F.Rng.create (100 + seed) in
+    let nl =
+      F.Netlist.random ~rng ~arch ~num_nets:(6 + (seed mod 5)) ~max_fanout:2
+        ~locality:2
+    in
+    let route = F.Global_router.route arch nl in
+    let graph = F.Conflict_graph.build route in
+    let ub = G.Greedy.upper_bound graph in
+    let widths = List.sort_uniq compare [ max 1 (ub - 1); ub ] in
+    List.iter
+      (fun enc ->
+        let strat = Strategy.make enc in
+        List.iter
+          (fun width ->
+            incr cells;
+            let run = Flow.check_width ~strategy:strat ~certify:true route ~width in
+            if run.Flow.certified = Some true then incr certified;
+            let csp = E.Csp.make graph ~k:width in
+            let encoded =
+              E.Csp_encode.encode ?symmetry:strat.Strategy.symmetry
+                strat.Strategy.encoding csp
+            in
+            let dpll =
+              Sat.Dpll.solve ~max_decisions:2_000_000 encoded.E.Csp_encode.cnf
+            in
+            let exact = G.Exact_coloring.k_colorable graph ~k:width in
+            let sat_answer =
+              match run.Flow.outcome with
+              | Flow.Routable _ -> Some true
+              | Flow.Unroutable -> Some false
+              | Flow.Timeout -> None
+            in
+            let dpll_answer =
+              match dpll with
+              | Sat.Dpll.Sat _ -> Some true
+              | Sat.Dpll.Unsat -> Some false
+              | Sat.Dpll.Unknown -> None
+            in
+            let exact_answer =
+              match exact with
+              | G.Exact_coloring.Colorable _ -> Some true
+              | G.Exact_coloring.Uncolorable -> Some false
+              | G.Exact_coloring.Exhausted -> None
+            in
+            let agree a b =
+              match (a, b) with Some x, Some y -> x = y | _ -> true
+            in
+            if
+              not
+                (agree sat_answer dpll_answer
+                && agree sat_answer exact_answer
+                && agree dpll_answer exact_answer)
+            then begin
+              incr mismatches;
+              Printf.printf
+                "MISMATCH seed=%d %s W=%d: cdcl=%s dpll=%s exact=%s\n" seed
+                (Strategy.name strat) width
+                (Flow.outcome_name run.Flow.outcome)
+                (match dpll_answer with
+                | Some true -> "sat"
+                | Some false -> "unsat"
+                | None -> "unknown")
+                (match exact_answer with
+                | Some true -> "colorable"
+                | Some false -> "uncolorable"
+                | None -> "exhausted")
+            end)
+          widths)
+      E.Registry.all
+  done;
+  Printf.printf
+    "differential fuzz: %d cells across %d encodings, %d certified, %d \
+     mismatches\n"
+    !cells
+    (List.length E.Registry.all)
+    !certified !mismatches;
+  if !mismatches > 0 then failwith "solver/DPLL/exact-colouring disagreement"
+
+(* ------------------------------------------------------------------ *)
 (* Encode+load throughput on the largest bundled configuration          *)
 
 (* Single-line JSON for BENCH_encode.json trajectory tracking: wall time to
@@ -914,5 +1072,6 @@ let () =
   if section_enabled "extensions" then section_extensions ();
   if section_enabled "incremental" then section_incremental ();
   if section_enabled "channel" then section_channel ();
+  if section_enabled "certify" then section_certify ();
   if !with_bechamel then section_bechamel ();
   Printf.printf "total harness wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

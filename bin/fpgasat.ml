@@ -5,8 +5,10 @@
    CNF under any of the 15 encodings, decide routability (with optional DRAT
    proof), search the minimal width, run strategy portfolios, sweep whole
    benchmark × strategy matrices in parallel with streamed JSONL results
-   (`sweep`, resumable; rendered back with `report`), and solve arbitrary
-   DIMACS CNF / colouring files with the built-in CDCL solver. *)
+   (`sweep`, resumable, optionally certified with --certify; rendered back
+   with `report`), check DRAT refutations against DIMACS CNFs (`certify`),
+   and solve arbitrary DIMACS CNF / colouring files with the built-in CDCL
+   solver. *)
 
 module Sat = Fpgasat_sat
 module G = Fpgasat_graph
@@ -218,7 +220,21 @@ let route_cmd =
       C.Flow.check_width ~strategy:strat ~budget:(budget_of budget)
         ~want_proof:(proof_file <> None) inst.F.Benchmarks.route ~width
     in
+    (* independent of output mode: --proof must write the file on UNSAT *)
+    let write_proof () =
+      match (run.C.Flow.outcome, proof_file, run.C.Flow.proof) with
+      | C.Flow.Unroutable, Some path, Some proof ->
+          let oc = open_out path in
+          Sat.Proof.output oc proof;
+          close_out oc;
+          Some (path, Sat.Proof.num_steps proof)
+      | _ -> None
+    in
     if json then begin
+      (match write_proof () with
+      | Some (path, steps) ->
+          Printf.eprintf "DRAT refutation written to %s (%d steps)\n" path steps
+      | None -> ());
       print_endline
         (Eng.Run_record.to_line
            (Eng.Run_record.of_run ~benchmark:spec.F.Benchmarks.name
@@ -245,14 +261,10 @@ let route_cmd =
         `Ok ()
     | C.Flow.Unroutable ->
         Printf.printf "UNROUTABLE: no detailed routing with %d tracks exists\n" width;
-        (match (proof_file, run.C.Flow.proof) with
-        | Some path, Some proof ->
-            let oc = open_out path in
-            Sat.Proof.output oc proof;
-            close_out oc;
-            Printf.printf "DRAT refutation written to %s (%d steps)\n" path
-              (Sat.Proof.num_steps proof)
-        | _ -> ());
+        (match write_proof () with
+        | Some (path, steps) ->
+            Printf.printf "DRAT refutation written to %s (%d steps)\n" path steps
+        | None -> ());
         `Ok ()
     | C.Flow.Timeout ->
         Printf.printf "TIMEOUT: budget exhausted without an answer\n";
@@ -399,7 +411,15 @@ let sweep_cmd =
              ~doc:"Skip cells already recorded in the $(b,--out) file; a \
                    torn final line from a killed run is ignored and re-run.")
   in
-  let run benchmarks strategies widths jobs budget out resume =
+  let certify_arg =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"Independently check every decisive cell: verify UNSAT \
+                   proofs with the DRAT checker and SAT models against the \
+                   CNF and the architecture; records gain a $(b,certified) \
+                   field.")
+  in
+  let run benchmarks strategies widths jobs budget out resume certify =
     if resume && out = None then
       `Error (true, "--resume requires --out FILE")
     else begin
@@ -471,6 +491,7 @@ let sweep_cmd =
           budget_seconds = budget;
           out;
           resume;
+          certify;
           on_progress =
             Some
               (fun p ->
@@ -508,7 +529,7 @@ let sweep_cmd =
                same command with --resume.";
          ])
     Term.(ret (const run $ benchmarks_arg $ strategies_arg $ widths_arg
-               $ jobs_arg $ budget_arg $ out_arg $ resume_arg))
+               $ jobs_arg $ budget_arg $ out_arg $ resume_arg $ certify_arg))
 
 (* ---------- report ---------- *)
 
@@ -522,7 +543,14 @@ let report_cmd =
              ~doc:"Exit non-zero if any line fails to parse or any cell \
                    crashed (used by CI smoke checks).")
   in
-  let run file strict =
+  let require_certified_arg =
+    Arg.(value & flag
+         & info [ "require-certified" ]
+             ~doc:"Exit non-zero unless every decisive (routable or \
+                   unroutable) record carries $(b,certified: true) — the CI \
+                   gate for sweeps run with $(b,--certify).")
+  in
+  let run file strict require_certified =
     let records, bad = Eng.Sweep.load file in
     print_string (Eng.Sweep.render_table records);
     Printf.printf "%s\n" (Eng.Sweep.summary records);
@@ -535,15 +563,93 @@ let report_cmd =
           | _ -> false)
         records
     in
+    let uncertified =
+      List.filter
+        (fun (r : Eng.Run_record.t) ->
+          Eng.Run_record.decisive r
+          && r.Eng.Run_record.certified <> Some true)
+        records
+    in
     if strict && (bad > 0 || crashed || records = []) then
       `Error (false, "strict check failed: crashed cells or unparsable lines")
+    else if require_certified && (records = [] || uncertified <> []) then begin
+      List.iter
+        (fun (r : Eng.Run_record.t) ->
+          Printf.eprintf "not certified: %s\n" (Eng.Run_record.key r))
+        uncertified;
+      `Error (false, "certification check failed: decisive cells without \
+                      certified: true (re-run the sweep with --certify)")
+    end
     else `Ok ()
   in
   Cmd.v
     (Cmd.info "report"
        ~doc:"Render a sweep's JSONL records as the benchmarks × strategies \
              table (a pure view over the file).")
-    Term.(ret (const run $ file_arg $ strict_arg))
+    Term.(ret (const run $ file_arg $ strict_arg $ require_certified_arg))
+
+(* ---------- certify ---------- *)
+
+let certify_cmd =
+  let cnf_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"CNF" ~doc:"DIMACS CNF file (see $(b,encode)).")
+  in
+  let proof_pos =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"PROOF"
+             ~doc:"Textual DRAT proof file (see $(b,route --proof)).")
+  in
+  let reference_arg =
+    Arg.(value & flag
+         & info [ "reference" ]
+             ~doc:"Use the quadratic list-scanning reference checker instead \
+                   of the watched-literal one (differential debugging).")
+  in
+  let run cnf_file proof_file reference =
+    match Sat.Dimacs_cnf.parse_file cnf_file with
+    | exception Sat.Dimacs_cnf.Parse_error m ->
+        `Error (false, Printf.sprintf "%s: %s" cnf_file m)
+    | cnf -> (
+        match Sat.Proof.parse_file proof_file with
+        | exception Sat.Proof.Parse_error m ->
+            `Error (false, Printf.sprintf "%s: %s" proof_file m)
+        | proof -> (
+            let t0 = Unix.gettimeofday () in
+            let outcome =
+              if reference then
+                Result.map
+                  (fun () -> None)
+                  (Sat.Drat_check.check_reference cnf proof)
+              else Result.map Option.some (Sat.Drat_check.check cnf proof)
+            in
+            let seconds = Unix.gettimeofday () -. t0 in
+            match outcome with
+            | Ok stats ->
+                Printf.printf
+                  "VERIFIED: %s is a DRAT refutation of %s (%d steps, %.3fs)\n"
+                  proof_file cnf_file
+                  (Sat.Proof.num_steps proof)
+                  seconds;
+                (match stats with
+                | Some s -> Format.printf "checker: %a@." Sat.Drat_check.pp_stats s
+                | None -> ());
+                `Ok ()
+            | Error e ->
+                `Error
+                  (false, Format.asprintf "proof REJECTED: %a" Sat.Drat_check.pp_error e)))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Check a DRAT refutation against a DIMACS CNF."
+       ~man:
+         [
+           `S Manpage.s_examples;
+           `P "fpgasat encode alu2 -w 2 -e muldirect --symmetry s1 -o alu2.cnf";
+           `P "fpgasat route alu2 -w 2 -s muldirect/s1 --proof alu2.drat";
+           `P "fpgasat certify alu2.cnf alu2.drat";
+         ])
+    Term.(ret (const run $ cnf_arg $ proof_pos $ reference_arg))
 
 (* ---------- render ---------- *)
 
@@ -758,6 +864,6 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; export_cmd; encode_cmd; route_cmd; min_width_cmd;
-            portfolio_cmd; sweep_cmd; report_cmd; solve_cmd; color_cmd;
-            render_cmd; route_file_cmd;
+            portfolio_cmd; sweep_cmd; report_cmd; certify_cmd; solve_cmd;
+            color_cmd; render_cmd; route_file_cmd;
           ]))

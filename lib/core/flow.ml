@@ -21,6 +21,7 @@ type run = {
   cnf_clauses : int;
   solver_stats : Sat.Stats.t;
   proof : Sat.Proof.t option;
+  certified : bool option;
 }
 
 let outcome_name = function
@@ -34,10 +35,13 @@ let decisive = function
 
 exception Decode_mismatch of string
 
+(* Wall clock, not [Sys.time]: the timing buckets feed run records that are
+   compared across sweeps, and process CPU time is inflated ~jobs× by
+   concurrent domains. *)
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let result = f () in
-  (result, Sys.time () -. t0)
+  (result, Unix.gettimeofday () -. t0)
 
 let solve_csp strategy budget proof csp =
   let encoded, to_cnf =
@@ -56,7 +60,7 @@ let solve_csp strategy budget proof csp =
         let coloring = E.Csp_encode.decode encoded model in
         if not (E.Csp.solution_ok csp coloring) then
           raise (Decode_mismatch "decoded colouring is not proper")
-        else `Colorable coloring
+        else `Colorable (coloring, model)
     | Sat.Solver.Unsat -> `Uncolorable
     | Sat.Solver.Unknown -> `Timeout
   in
@@ -68,10 +72,16 @@ let color_graph ?(strategy = Strategy.best_single)
   let answer, _encoded, _stats, to_cnf, solving =
     solve_csp strategy budget None csp
   in
+  let answer =
+    match answer with
+    | `Colorable (coloring, _model) -> `Colorable coloring
+    | (`Uncolorable | `Timeout) as a -> a
+  in
   (answer, { to_graph; to_cnf; solving })
 
 let check_width ?(strategy = Strategy.best_single)
-    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) route ~width =
+    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
+    route ~width =
   if width < 1 then invalid_arg "Flow.check_width: width < 1";
   let (graph, csp), to_graph =
     timed (fun () ->
@@ -79,30 +89,50 @@ let check_width ?(strategy = Strategy.best_single)
         (graph, E.Csp.make graph ~k:width))
   in
   ignore graph;
-  let proof = if want_proof then Some (Sat.Proof.create ()) else None in
+  let proof =
+    if want_proof || certify then Some (Sat.Proof.create ()) else None
+  in
   let answer, encoded, stats, to_cnf, solving =
     solve_csp strategy budget proof csp
   in
-  let outcome =
+  let cnf = encoded.E.Csp_encode.cnf in
+  let outcome, certified =
     match answer with
-    | `Colorable coloring -> (
+    | `Colorable (coloring, model) -> (
         match F.Detailed_route.of_coloring route ~width coloring with
-        | Ok detailed -> Routable detailed
+        | Ok detailed ->
+            let certified =
+              if certify then
+                Some
+                  (Sat.Solver.check_model cnf model
+                  && Result.is_ok (F.Detailed_route.verify route ~width coloring))
+              else None
+            in
+            (Routable detailed, certified)
         | Error violation ->
             raise
               (Decode_mismatch
                  (Format.asprintf "detailed routing rejected: %a"
                     F.Detailed_route.pp_violation violation)))
-    | `Uncolorable -> Unroutable
-    | `Timeout -> Timeout
+    | `Uncolorable ->
+        let certified =
+          if certify then
+            match proof with
+            | Some p -> Some (Result.is_ok (Sat.Drat_check.check cnf p))
+            | None -> Some false
+          else None
+        in
+        (Unroutable, certified)
+    | `Timeout -> (Timeout, None)
   in
   {
     outcome;
     timings = { to_graph; to_cnf; solving };
     width;
     strategy;
-    cnf_vars = Sat.Cnf.num_vars encoded.E.Csp_encode.cnf;
-    cnf_clauses = Sat.Cnf.num_clauses encoded.E.Csp_encode.cnf;
+    cnf_vars = Sat.Cnf.num_vars cnf;
+    cnf_clauses = Sat.Cnf.num_clauses cnf;
     solver_stats = stats;
     proof;
+    certified;
   }

@@ -40,6 +40,12 @@ type run = {
   cnf_clauses : int;
   solver_stats : Fpgasat_sat.Stats.t;
   proof : Fpgasat_sat.Proof.t option;
+  certified : bool option;
+      (** [None] when certification was not requested or the outcome is
+          {!Timeout}; [Some true] when the answer carried a checked
+          certificate — an UNSAT proof accepted by {!Fpgasat_sat.Drat_check}
+          or a model accepted by {!Fpgasat_sat.Solver.check_model} plus
+          {!Fpgasat_fpga.Detailed_route.verify}. *)
 }
 
 exception Decode_mismatch of string
@@ -50,11 +56,14 @@ val check_width :
   ?strategy:Strategy.t ->
   ?budget:Fpgasat_sat.Solver.budget ->
   ?want_proof:bool ->
+  ?certify:bool ->
   Fpgasat_fpga.Global_route.t ->
   width:int ->
   run
 (** Decides detailed routability of a global routing with [width] tracks.
-    Default strategy: {!Strategy.best_single}. *)
+    Default strategy: {!Strategy.best_single}. With [~certify:true] (default
+    false) a proof is recorded regardless of [want_proof] and the answer is
+    independently checked — see {!field-run.certified}. *)
 
 val color_graph :
   ?strategy:Strategy.t ->

@@ -17,6 +17,7 @@ type t = {
   cnf_vars : int;
   cnf_clauses : int;
   stats : Sat.Stats.t;
+  certified : bool option;
 }
 
 let schema_version = "fpgasat.run/1"
@@ -54,6 +55,7 @@ let of_run ~benchmark ~wall_seconds (run : C.Flow.run) =
     cnf_vars = run.C.Flow.cnf_vars;
     cnf_clauses = run.C.Flow.cnf_clauses;
     stats = run.C.Flow.solver_stats;
+    certified = run.C.Flow.certified;
   }
 
 let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
@@ -67,6 +69,7 @@ let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
     cnf_vars = 0;
     cnf_clauses = 0;
     stats = Sat.Stats.create ();
+    certified = None;
   }
 
 (* ---------- JSON ---------- *)
@@ -74,6 +77,13 @@ let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
 let to_json r =
   let crash =
     match r.outcome with Crashed m -> [ ("crash", Json.String m) ] | _ -> []
+  in
+  (* the key is absent (not null) when certification was not requested, so
+     records from older sweeps and uncertified runs stay byte-identical *)
+  let certified =
+    match r.certified with
+    | Some b -> [ ("certified", Json.Bool b) ]
+    | None -> []
   in
   Json.Obj
     ([
@@ -83,7 +93,7 @@ let to_json r =
        ("width", Json.Int r.width);
        ("outcome", Json.String (outcome_name r.outcome));
      ]
-    @ crash
+    @ crash @ certified
     @ [
         ( "timings",
           Json.Obj
@@ -156,6 +166,12 @@ let of_json json =
           Ok (Crashed msg)
       | other -> Error (Printf.sprintf "unknown outcome %S" other)
     in
+    let* certified =
+      match Json.find json "certified" with
+      | None -> Ok None
+      | Some (Json.Bool b) -> Ok (Some b)
+      | Some _ -> Error "key \"certified\" is not a boolean"
+    in
     let* timings = get json "timings" in
     let* to_graph = num timings "to_graph" in
     let* to_cnf = num timings "to_cnf" in
@@ -193,6 +209,7 @@ let of_json json =
         cnf_vars;
         cnf_clauses;
         stats;
+        certified;
       }
 
 let to_line r = Json.to_string (to_json r)
@@ -228,3 +245,4 @@ let equal a b =
   && a.cnf_vars = b.cnf_vars
   && a.cnf_clauses = b.cnf_clauses
   && stats_eq a.stats b.stats
+  && Option.equal Bool.equal a.certified b.certified

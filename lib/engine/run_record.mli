@@ -14,6 +14,7 @@
     {"schema":"fpgasat.run/1","benchmark":"alu2",
      "strategy":"ITE-linear-2+muldirect/s1@siege","width":4,
      "outcome":"routable|unroutable|timeout|crashed","crash":"msg?",
+     "certified":true?,
      "timings":{"to_graph":s,"to_cnf":s,"solving":s},"wall_seconds":s,
      "cnf":{"vars":n,"clauses":n},
      "solver":{"decisions":n,"propagations":n,"conflicts":n,"restarts":n,
@@ -21,7 +22,9 @@
                "max_decision_level":n}}
     v}
 
-    The ["crash"] key is present exactly when [outcome] is ["crashed"]. *)
+    The ["crash"] key is present exactly when [outcome] is ["crashed"], and
+    ["certified"] exactly when the run was certified (sweeps with
+    [--certify]); both are omitted otherwise. *)
 
 type outcome =
   | Routable
@@ -41,6 +44,9 @@ type t = {
   cnf_vars : int;
   cnf_clauses : int;
   stats : Fpgasat_sat.Stats.t;
+  certified : bool option;
+      (** Mirrors {!Fpgasat_core.Flow.run.certified}: [Some true] iff the
+          answer carried an independently checked certificate. *)
 }
 
 val schema_version : string

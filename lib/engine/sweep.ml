@@ -5,7 +5,7 @@ type job = {
   benchmark : string;
   strategy : string;
   width : int;
-  run : budget:Sat.Solver.budget -> C.Flow.run;
+  run : budget:Sat.Solver.budget -> certify:bool -> C.Flow.run;
 }
 
 let cell ~benchmark strategy route ~width =
@@ -13,7 +13,9 @@ let cell ~benchmark strategy route ~width =
     benchmark;
     strategy = C.Strategy.name strategy;
     width;
-    run = (fun ~budget -> C.Flow.check_width ~strategy ~budget route ~width);
+    run =
+      (fun ~budget ~certify ->
+        C.Flow.check_width ~strategy ~budget ~certify route ~width);
   }
 
 type progress = { completed : int; total : int; skipped : int }
@@ -24,6 +26,7 @@ type config = {
   poll_every : int;
   out : string option;
   resume : bool;
+  certify : bool;
   on_progress : (progress -> unit) option;
 }
 
@@ -34,6 +37,7 @@ let default_config =
     poll_every = Sat.Solver.default_poll_interval;
     out = None;
     resume = false;
+    certify = false;
     on_progress = None;
   }
 
@@ -137,7 +141,7 @@ let run config jobs =
              (fun job () ->
                let t0 = Unix.gettimeofday () in
                let record =
-                 match job.run ~budget:(job_budget config) with
+                 match job.run ~budget:(job_budget config) ~certify:config.certify with
                  | run ->
                      Run_record.of_run ~benchmark:job.benchmark
                        ~wall_seconds:(Unix.gettimeofday () -. t0)
@@ -216,13 +220,21 @@ let render_table records =
 
 let summary records =
   let count p = List.length (List.filter p records) in
-  Printf.sprintf
-    "%d cells: %d routable, %d unroutable, %d timeout, %d crashed"
-    (List.length records)
-    (count (fun r -> r.Run_record.outcome = Run_record.Routable))
-    (count (fun r -> r.Run_record.outcome = Run_record.Unroutable))
-    (count (fun r -> r.Run_record.outcome = Run_record.Timeout))
-    (count (fun r ->
-         match r.Run_record.outcome with
-         | Run_record.Crashed _ -> true
-         | _ -> false))
+  let base =
+    Printf.sprintf
+      "%d cells: %d routable, %d unroutable, %d timeout, %d crashed"
+      (List.length records)
+      (count (fun r -> r.Run_record.outcome = Run_record.Routable))
+      (count (fun r -> r.Run_record.outcome = Run_record.Unroutable))
+      (count (fun r -> r.Run_record.outcome = Run_record.Timeout))
+      (count (fun r ->
+           match r.Run_record.outcome with
+           | Run_record.Crashed _ -> true
+           | _ -> false))
+  in
+  let attempted = count (fun r -> r.Run_record.certified <> None) in
+  if attempted = 0 then base
+  else
+    Printf.sprintf "%s, %d/%d certified" base
+      (count (fun r -> r.Run_record.certified = Some true))
+      attempted

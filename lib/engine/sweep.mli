@@ -26,9 +26,11 @@ type job = {
   benchmark : string;
   strategy : string;  (** {!Fpgasat_core.Strategy.name} form — the cell key. *)
   width : int;
-  run : budget:Fpgasat_sat.Solver.budget -> Fpgasat_core.Flow.run;
+  run :
+    budget:Fpgasat_sat.Solver.budget -> certify:bool -> Fpgasat_core.Flow.run;
       (** The work. The engine passes the per-job budget (deadline +
-          interrupt + poll interval already threaded in). *)
+          interrupt + poll interval already threaded in) and whether the
+          answer must carry a checked certificate ({!config.certify}). *)
 }
 
 val cell :
@@ -54,12 +56,18 @@ type config = {
           (conflicts; see {!Fpgasat_sat.Solver.budget}). *)
   out : string option;  (** JSONL results file, appended to. *)
   resume : bool;  (** Skip cells already recorded in [out]. *)
+  certify : bool;
+      (** Certify every decisive cell: UNSAT answers must carry a proof
+          accepted by {!Fpgasat_sat.Drat_check}, SAT answers a model that
+          passes {!Fpgasat_sat.Solver.check_model} and
+          {!Fpgasat_fpga.Detailed_route.verify}. Results gain the
+          [certified] record field. *)
   on_progress : (progress -> unit) option;
 }
 
 val default_config : config
 (** [jobs = Pool.default_jobs ()], no budget, default poll interval, no
-    output file, no resume, no progress callback. *)
+    output file, no resume, no certification, no progress callback. *)
 
 val run : config -> job list -> Run_record.t list
 (** Executes the queue and returns one record per job, in job order.
@@ -79,4 +87,5 @@ val render_table : Run_record.t list -> string
     absent combinations. *)
 
 val summary : Run_record.t list -> string
-(** One line: cell counts by outcome. *)
+(** One line: cell counts by outcome; when any record carries a [certified]
+    flag, also ["c/a certified"] over the cells that attempted it. *)

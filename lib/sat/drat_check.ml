@@ -1,134 +1,493 @@
-type error = { step_index : int; reason : string }
+(* Watched-literal forward checker for DRAT traces.
 
-let pp_error fmt e =
-  Format.fprintf fmt "proof step %d: %s" e.step_index e.reason
+   Clauses live in one flat literal arena (the same layout idea as [Cnf]):
+   per-clause offset/length indexes, a liveness flag, and two watched
+   literals kept in the first two arena slots of each clause. Propagation is
+   incremental: facts derived at the top level go onto a persistent trail
+   that survives across proof steps, and each RUP query only assumes the
+   candidate clause's negation on top of that trail and undoes exactly its
+   own assignments. Deletions unwatch eagerly — O(the two watch lists) —
+   and full occurrence lists (maintained per literal, compacted lazily)
+   serve the RAT fallback, which makes the checker decide DRAT rather than
+   just RUP. *)
 
-(* The checker keeps every clause in occurrence lists indexed by literal and
-   runs plain scanning unit propagation with an undo trail. Simplicity over
-   speed: it re-derives each addition independently, which is plenty for the
-   proof sizes the tests and examples produce. *)
+type stats = {
+  mutable additions : int;
+  mutable rup_steps : int;
+  mutable rat_steps : int;
+  mutable deletions : int;
+  mutable ignored_deletions : int;
+  mutable propagations : int;
+}
+
+let fresh_stats () =
+  {
+    additions = 0;
+    rup_steps = 0;
+    rat_steps = 0;
+    deletions = 0;
+    ignored_deletions = 0;
+    propagations = 0;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "additions=%d (rup %d, rat %d) deletions=%d (ignored %d) propagations=%d"
+    s.additions s.rup_steps s.rat_steps s.deletions s.ignored_deletions
+    s.propagations
+
+type error =
+  | Bad_step of { step_index : int; reason : string }
+  | No_empty_clause of { num_steps : int }
+
+let pp_error fmt = function
+  | Bad_step { step_index; reason } ->
+      Format.fprintf fmt "proof step %d: %s" step_index reason
+  | No_empty_clause { num_steps } ->
+      Format.fprintf fmt
+        "proof trace (%d steps) does not derive the empty clause" num_steps
+
 type checker = {
   mutable nvars : int;
-  mutable assignment : int array; (* -1 false, 0 undef, 1 true *)
-  mutable clauses : (Lit.t array * bool ref) list;
-      (* all clauses with a live flag, newest first (deleted = false) *)
+  mutable assignment : int array; (* -1 false, 0 undef, 1 true; by var *)
+  (* clause arena *)
+  mutable arena : int array;
+  mutable fill : int;
+  offs : int Vec.t; (* clause id -> arena offset *)
+  lens : int Vec.t;
+  live : bool Vec.t;
+  (* indexed by literal: watch lists fire when the literal becomes true
+     (so [watches.(l)] holds clauses watching [negate l], as in [Solver]);
+     [occs.(l)] holds every clause containing [l], for the RAT fallback *)
+  mutable watches : int Vec.t array;
+  mutable occs : int Vec.t array;
+  (* persistent top-level trail; entries above a RUP query's mark are
+     temporary and undone when the query finishes *)
+  trail : int Vec.t;
+  mutable qhead : int;
+  mutable contradiction : bool; (* top-level conflict: UNSAT established *)
+  (* sorted-deduped literal list -> live clause ids, for deletions *)
+  index : (Lit.t list, int list ref) Hashtbl.t;
+  stats : stats;
 }
 
 let create nvars =
-  { nvars; assignment = Array.make (max nvars 1) 0; clauses = [] }
+  let nvars = max nvars 1 in
+  {
+    nvars;
+    assignment = Array.make nvars 0;
+    arena = Array.make 256 0;
+    fill = 0;
+    offs = Vec.create ~dummy:0 ();
+    lens = Vec.create ~dummy:0 ();
+    live = Vec.create ~dummy:false ();
+    watches = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:0 ());
+    occs = Array.init (2 * nvars) (fun _ -> Vec.create ~dummy:0 ());
+    trail = Vec.create ~dummy:0 ();
+    qhead = 0;
+    contradiction = false;
+    index = Hashtbl.create 64;
+    stats = fresh_stats ();
+  }
 
 let grow st v =
   if v >= st.nvars then begin
-    let n = v + 1 in
+    let n = max (v + 1) (2 * st.nvars) in
     let a = Array.make n 0 in
     Array.blit st.assignment 0 a 0 st.nvars;
     st.assignment <- a;
+    let w = Array.init (2 * n) (fun _ -> Vec.create ~dummy:0 ()) in
+    Array.blit st.watches 0 w 0 (2 * st.nvars);
+    st.watches <- w;
+    let o = Array.init (2 * n) (fun _ -> Vec.create ~dummy:0 ()) in
+    Array.blit st.occs 0 o 0 (2 * st.nvars);
+    st.occs <- o;
     st.nvars <- n
   end
 
-let add_clause st lits =
-  let arr = Array.of_list lits in
-  Array.iter (fun l -> grow st (Lit.var l)) arr;
-  let live = ref true in
-  st.clauses <- (arr, live) :: st.clauses;
-  (arr, live)
-
-let delete_clause st lits =
-  let target = List.sort Lit.compare lits in
-  let rec find = function
-    | [] -> false
-    | (arr, live) :: rest ->
-        if !live && List.sort Lit.compare (Array.to_list arr) = target then begin
-          live := false;
-          true
-        end
-        else find rest
-  in
-  find st.clauses
+let ensure_arena st extra =
+  if st.fill + extra > Array.length st.arena then begin
+    let n = max (st.fill + extra) (2 * Array.length st.arena) in
+    let a = Array.make n 0 in
+    Array.blit st.arena 0 a 0 st.fill;
+    st.arena <- a
+  end
 
 let value st l =
   let a = st.assignment.(Lit.var l) in
   if Lit.sign l then a else -a
 
-(* Assign the given literals as assumptions and unit-propagate over the live
-   clause set. Returns [true] on conflict. Always undoes its assignments. *)
-let propagates_to_conflict st assumptions =
-  let trail = ref [] in
+let assign st l =
+  st.assignment.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+  Vec.push st.trail l
+
+(* Watched-literal propagation from [qhead]; returns [true] on conflict.
+   On conflict the queue is drained so the caller can undo cleanly. *)
+let propagate st =
   let conflict = ref false in
-  let assign l =
-    match value st l with
-    | 1 -> ()
-    | -1 -> conflict := true
-    | _ ->
-        st.assignment.(Lit.var l) <- (if Lit.sign l then 1 else -1);
-        trail := l :: !trail
-  in
-  List.iter assign assumptions;
-  let progress = ref true in
-  while (not !conflict) && !progress do
-    progress := false;
-    List.iter
-      (fun (arr, live) ->
-        if !live && not !conflict then begin
-          let satisfied = ref false in
-          let unassigned = ref [] in
-          Array.iter
-            (fun l ->
-              match value st l with
-              | 1 -> satisfied := true
-              | 0 -> unassigned := l :: !unassigned
-              | _ -> ())
-            arr;
-          if not !satisfied then
-            match !unassigned with
-            | [] -> conflict := true
-            | [ l ] ->
-                assign l;
-                progress := true
-            | _ :: _ :: _ -> ()
-        end)
-      st.clauses
+  while (not !conflict) && st.qhead < Vec.size st.trail do
+    let p = Vec.get st.trail st.qhead in
+    st.qhead <- st.qhead + 1;
+    st.stats.propagations <- st.stats.propagations + 1;
+    let ws = st.watches.(p) in
+    let n = Vec.size ws in
+    let i = ref 0 and j = ref 0 in
+    while !i < n do
+      let cid = Vec.get ws !i in
+      incr i;
+      if not (Vec.get st.live cid) then () (* unwatched lazily if ever seen *)
+      else begin
+        let off = Vec.get st.offs cid in
+        let len = Vec.get st.lens cid in
+        let false_lit = Lit.negate p in
+        if st.arena.(off) = false_lit then begin
+          st.arena.(off) <- st.arena.(off + 1);
+          st.arena.(off + 1) <- false_lit
+        end;
+        let first = st.arena.(off) in
+        if value st first = 1 then begin
+          Vec.set ws !j cid;
+          incr j
+        end
+        else begin
+          (* find a replacement watch among slots 2.. *)
+          let rec find k =
+            if k >= off + len then -1
+            else if value st st.arena.(k) <> -1 then k
+            else find (k + 1)
+          in
+          let k = find (off + 2) in
+          if k >= 0 then begin
+            st.arena.(off + 1) <- st.arena.(k);
+            st.arena.(k) <- false_lit;
+            Vec.push st.watches.(Lit.negate st.arena.(off + 1)) cid
+          end
+          else begin
+            (* unit or conflicting *)
+            Vec.set ws !j cid;
+            incr j;
+            if value st first = -1 then begin
+              conflict := true;
+              st.qhead <- Vec.size st.trail;
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done
+            end
+            else assign st first
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
   done;
-  List.iter (fun l -> st.assignment.(Lit.var l) <- 0) !trail;
   !conflict
 
+let undo_to st mark =
+  while Vec.size st.trail > mark do
+    let l = Vec.pop st.trail in
+    st.assignment.(Lit.var l) <- 0
+  done;
+  st.qhead <- min st.qhead mark
+
+let clause_key lits = List.sort_uniq Lit.compare lits
+
+(* Append the clause to the arena and register it everywhere; then account
+   for it under the persistent assignment: a falsified clause establishes
+   the contradiction, a unit is asserted on the persistent trail and
+   propagated, anything longer gets two non-false watches. *)
+let add_and_install st lits =
+  List.iter (fun l -> grow st (Lit.var l)) lits;
+  let len = List.length lits in
+  ensure_arena st len;
+  let off = st.fill in
+  List.iter
+    (fun l ->
+      st.arena.(st.fill) <- l;
+      st.fill <- st.fill + 1)
+    lits;
+  let cid = Vec.size st.offs in
+  Vec.push st.offs off;
+  Vec.push st.lens len;
+  Vec.push st.live true;
+  List.iter (fun l -> Vec.push st.occs.(l) cid) lits;
+  let key = clause_key lits in
+  (match Hashtbl.find_opt st.index key with
+  | Some ids -> ids := cid :: !ids
+  | None -> Hashtbl.add st.index key (ref [ cid ]));
+  (* move up to two non-false literals into the watch slots *)
+  let found = ref 0 in
+  let k = ref off in
+  while !found < 2 && !k < off + len do
+    if value st st.arena.(!k) <> -1 then begin
+      let tmp = st.arena.(off + !found) in
+      st.arena.(off + !found) <- st.arena.(!k);
+      st.arena.(!k) <- tmp;
+      incr found
+    end;
+    incr k
+  done;
+  if !found = 0 then st.contradiction <- true
+  else begin
+    if len >= 2 then begin
+      Vec.push st.watches.(Lit.negate st.arena.(off)) cid;
+      Vec.push st.watches.(Lit.negate st.arena.(off + 1)) cid
+    end;
+    if !found = 1 && value st st.arena.(off) = 0 then begin
+      assign st st.arena.(off);
+      if propagate st then st.contradiction <- true
+    end
+  end
+
+(* RUP: assume the negation of every literal on top of the persistent
+   trail; derivable iff propagation conflicts. Tautologies and clauses
+   already satisfied at the top level conflict immediately. *)
 let rup st lits =
-  (* a tautological "clause" is trivially derivable *)
-  let negated = List.map Lit.negate lits in
-  let tauto =
-    List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+  st.contradiction
+  ||
+  let mark = Vec.size st.trail in
+  let exception Conflict in
+  let conflict =
+    match
+      List.iter
+        (fun l ->
+          match value st l with
+          | 1 -> raise Conflict
+          | -1 -> ()
+          | _ -> assign st (Lit.negate l))
+        lits
+    with
+    | () -> propagate st
+    | exception Conflict -> true
   in
-  tauto || propagates_to_conflict st negated
+  undo_to st mark;
+  conflict
+
+(* RAT on the first literal (the DRAT pivot convention): every live clause
+   containing the pivot's negation must yield a RUP resolvent. Occurrence
+   lists are compacted in passing. *)
+let rat st lits =
+  match lits with
+  | [] -> false
+  | pivot :: _ ->
+      let neg = Lit.negate pivot in
+      if Lit.var neg >= st.nvars then true (* no clause can contain it *)
+      else begin
+        let occ = st.occs.(neg) in
+        let ok = ref true in
+        let j = ref 0 in
+        for i = 0 to Vec.size occ - 1 do
+          let cid = Vec.get occ i in
+          if Vec.get st.live cid then begin
+            Vec.set occ !j cid;
+            incr j;
+            if !ok then begin
+              let off = Vec.get st.offs cid in
+              let len = Vec.get st.lens cid in
+              let resolvent = ref (List.filter (fun l -> l <> pivot) lits) in
+              for k = off to off + len - 1 do
+                if st.arena.(k) <> neg then resolvent := st.arena.(k) :: !resolvent
+              done;
+              if not (rup st !resolvent) then ok := false
+            end
+          end
+        done;
+        Vec.shrink occ !j;
+        !ok
+      end
+
+(* Deleting a clause that is not present is a tolerated no-op (the
+   drat-trim convention): solvers simplify at load time, so traces
+   legitimately reference clauses the checker never saw. Deletions of unit
+   clauses do not retract their propagations (also as in drat-trim). *)
+let delete st lits =
+  let key = clause_key lits in
+  match Hashtbl.find_opt st.index key with
+  | None -> st.stats.ignored_deletions <- st.stats.ignored_deletions + 1
+  | Some ids -> (
+      match !ids with
+      | [] -> st.stats.ignored_deletions <- st.stats.ignored_deletions + 1
+      | cid :: rest ->
+          ids := rest;
+          Vec.set st.live cid false;
+          let len = Vec.get st.lens cid in
+          if len >= 2 then begin
+            let off = Vec.get st.offs cid in
+            let unwatch l =
+              Vec.filter_in_place (fun c -> c <> cid)
+                st.watches.(Lit.negate l)
+            in
+            unwatch st.arena.(off);
+            unwatch st.arena.(off + 1)
+          end;
+          st.stats.deletions <- st.stats.deletions + 1)
 
 let load cnf =
   let st = create (Cnf.num_vars cnf) in
   Cnf.iter_clauses' cnf ~f:(fun arena off len ->
-      ignore (add_clause st (Array.to_list (Array.sub arena off len))));
+      if not st.contradiction then
+        add_and_install st (Array.to_list (Array.sub arena off len)));
   st
 
-let is_rup cnf clause = rup (load cnf) clause
+let grow_for st lits = List.iter (fun l -> grow st (Lit.var l)) lits
+
+let is_rup cnf clause =
+  let st = load cnf in
+  grow_for st clause;
+  rup st clause
+
+let is_rat cnf clause =
+  let st = load cnf in
+  grow_for st clause;
+  rup st clause || rat st clause
 
 let check cnf proof =
   let st = load cnf in
   let steps = Proof.steps proof in
-  let rec go i saw_empty = function
-    | [] ->
-        if saw_empty then Ok ()
-        else Error { step_index = i; reason = "trace does not derive the empty clause" }
+  let num_steps = List.length steps in
+  let rec go i = function
+    | _ when st.contradiction -> Ok st.stats
+    | [] -> Error (No_empty_clause { num_steps })
     | step :: rest -> (
         match step with
         | Proof.Add lits ->
-            if not (rup st lits) then
-              Error { step_index = i; reason = "added clause is not RUP" }
-            else begin
-              ignore (add_clause st lits);
-              if lits = [] then Ok () (* empty clause derived; trace verified *)
-              else go (i + 1) saw_empty rest
+            st.stats.additions <- st.stats.additions + 1;
+            grow_for st lits;
+            if rup st lits then begin
+              st.stats.rup_steps <- st.stats.rup_steps + 1;
+              add_and_install st lits;
+              go (i + 1) rest
             end
-        | Proof.Delete lits ->
-            if delete_clause st lits then go (i + 1) saw_empty rest
+            else if rat st lits then begin
+              st.stats.rat_steps <- st.stats.rat_steps + 1;
+              add_and_install st lits;
+              go (i + 1) rest
+            end
             else
               Error
-                { step_index = i; reason = "deletion of a clause not present" })
+                (Bad_step
+                   { step_index = i; reason = "added clause is neither RUP nor RAT" })
+        | Proof.Delete lits ->
+            delete st lits;
+            go (i + 1) rest)
+  in
+  go 0 steps
+
+(* ------------------------------------------------------------------ *)
+(* Reference checker: the original list-scanning implementation, kept as
+   a differential-testing oracle and as the baseline the bench harness
+   measures the watched-literal checker against. Quadratic: every RUP
+   query re-propagates over the whole clause list. *)
+
+module Reference = struct
+  type rstate = {
+    mutable rnvars : int;
+    mutable rassignment : int array;
+    mutable rclauses : (Lit.t array * bool ref) list;
+  }
+
+  let rcreate nvars =
+    { rnvars = nvars; rassignment = Array.make (max nvars 1) 0; rclauses = [] }
+
+  let rgrow st v =
+    if v >= st.rnvars then begin
+      let n = v + 1 in
+      let a = Array.make n 0 in
+      Array.blit st.rassignment 0 a 0 st.rnvars;
+      st.rassignment <- a;
+      st.rnvars <- n
+    end
+
+  let radd st lits =
+    let arr = Array.of_list lits in
+    Array.iter (fun l -> rgrow st (Lit.var l)) arr;
+    st.rclauses <- (arr, ref true) :: st.rclauses
+
+  let rdelete st lits =
+    let target = List.sort Lit.compare lits in
+    let rec find = function
+      | [] -> false
+      | (arr, live) :: rest ->
+          if !live && List.sort Lit.compare (Array.to_list arr) = target then begin
+            live := false;
+            true
+          end
+          else find rest
+    in
+    find st.rclauses
+
+  let rvalue st l =
+    let a = st.rassignment.(Lit.var l) in
+    if Lit.sign l then a else -a
+
+  let propagates_to_conflict st assumptions =
+    let trail = ref [] in
+    let conflict = ref false in
+    let assign l =
+      match rvalue st l with
+      | 1 -> ()
+      | -1 -> conflict := true
+      | _ ->
+          st.rassignment.(Lit.var l) <- (if Lit.sign l then 1 else -1);
+          trail := l :: !trail
+    in
+    List.iter assign assumptions;
+    let progress = ref true in
+    while (not !conflict) && !progress do
+      progress := false;
+      List.iter
+        (fun (arr, live) ->
+          if !live && not !conflict then begin
+            let satisfied = ref false in
+            let unassigned = ref [] in
+            Array.iter
+              (fun l ->
+                match rvalue st l with
+                | 1 -> satisfied := true
+                | 0 -> unassigned := l :: !unassigned
+                | _ -> ())
+              arr;
+            if not !satisfied then
+              match !unassigned with
+              | [] -> conflict := true
+              | [ l ] ->
+                  assign l;
+                  progress := true
+              | _ :: _ :: _ -> ()
+          end)
+        st.rclauses
+    done;
+    List.iter (fun l -> st.rassignment.(Lit.var l) <- 0) !trail;
+    !conflict
+
+  let rrup st lits =
+    let negated = List.map Lit.negate lits in
+    let tauto = List.exists (fun l -> List.mem (Lit.negate l) lits) lits in
+    tauto || propagates_to_conflict st negated
+end
+
+let check_reference cnf proof =
+  let open Reference in
+  let st = rcreate (Cnf.num_vars cnf) in
+  Cnf.iter_clauses' cnf ~f:(fun arena off len ->
+      radd st (Array.to_list (Array.sub arena off len)));
+  let steps = Proof.steps proof in
+  let num_steps = List.length steps in
+  let rec go i saw_empty = function
+    | [] ->
+        if saw_empty then Ok () else Error (No_empty_clause { num_steps })
+    | step :: rest -> (
+        match step with
+        | Proof.Add lits ->
+            if not (rrup st lits) then
+              Error (Bad_step { step_index = i; reason = "added clause is not RUP" })
+            else begin
+              radd st lits;
+              if lits = [] then Ok () else go (i + 1) saw_empty rest
+            end
+        | Proof.Delete lits ->
+            ignore (rdelete st lits);
+            go (i + 1) saw_empty rest)
   in
   go 0 false steps

@@ -26,3 +26,13 @@ val ends_with_empty : t -> bool
 val output : out_channel -> t -> unit
 (** Textual DRAT: one step per line, deletions prefixed with ["d"],
     0-terminated DIMACS literals. *)
+
+exception Parse_error of string
+
+val parse : in_channel -> t
+(** Parse textual DRAT as written by {!output}: 0-terminated DIMACS
+    literals, ["d"]-prefixed deletions, ["c"] comment lines and blank lines
+    ignored. Raises {!Parse_error} on malformed input. *)
+
+val parse_file : string -> t
+(** [parse_file path] — {!parse} applied to the file at [path]. *)

@@ -387,11 +387,16 @@ let pick_branch_var st =
       in
       next ()
 
-let restart_limit st k =
-  match st.cfg.restart with
+(* Geometric limits overflow float range quickly (inc^k); [int_of_float]
+   of an out-of-range float is unspecified, so clamp to [max_int]. *)
+let restart_limit_of_config cfg k =
+  match cfg.restart with
   | Luby_restarts base -> base * Luby.get k
   | Geometric (first, inc) ->
-      int_of_float (float_of_int first *. (inc ** float_of_int k))
+      let f = float_of_int first *. (inc ** float_of_int k) in
+      if f >= float_of_int max_int then max_int else int_of_float f
+
+let restart_limit st k = restart_limit_of_config st.cfg k
 
 let extract_model st =
   Array.init st.nvars (fun v -> st.assigns.(v) > 0)
@@ -482,7 +487,9 @@ let run_search s budget assumptions =
         invalid_arg "Solver.solve_with: assumption variable out of range")
     assumptions;
   cancel_until st 0;
-  let start_time = Sys.time () in
+  (* wall clock, not [Sys.time]: under a multi-domain sweep, process CPU
+     time accrues ~jobs× faster and budgets would expire early *)
+  let start_time = Unix.gettimeofday () in
   let start_conflicts = st.stats.Stats.conflicts in
   let conflicts_at_restart = ref 0 in
   let poll_every = max 1 budget.poll_every in
@@ -492,7 +499,7 @@ let run_search s budget assumptions =
     | Some _ | None -> false)
     || (match budget.max_seconds with
        | Some sec when st.stats.Stats.conflicts mod poll_every = 0 ->
-           Sys.time () -. start_time > sec
+           Unix.gettimeofday () -. start_time > sec
        | Some _ | None -> false)
     || match budget.interrupt with
        | Some f when st.stats.Stats.conflicts mod poll_every = 0 -> f ()

@@ -28,6 +28,11 @@ val siege_like : config
 val default : config
 (** Same as {!minisat_like}. *)
 
+val restart_limit_of_config : config -> int -> int
+(** Conflict limit for the [k]-th restart episode under this configuration.
+    [Geometric] limits are computed in float and clamped to [max_int] once
+    they leave integer range. Exposed for tests. *)
+
 type budget = {
   max_conflicts : int option;
   max_seconds : float option;

@@ -142,6 +142,11 @@ let test_pool_progress_monotonic () =
   Alcotest.(check (list int)) "on_done counts 1..n" (List.init 12 (fun i -> i + 1))
     (List.rev !seen)
 
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  n = 0 || at 0
+
 (* ---------- Run_record ---------- *)
 
 let sample_run width =
@@ -239,7 +244,7 @@ let test_sweep_crash_isolated () =
       Sweep.benchmark = "small";
       strategy = "crash-strategy";
       width = 2;
-      run = (fun ~budget:_ -> failwith "deliberate crash");
+      run = (fun ~budget:_ ~certify:_ -> failwith "deliberate crash");
     }
   in
   let jobs = [ List.hd (sweep_jobs ()); crash; List.nth (sweep_jobs ()) 1 ] in
@@ -268,9 +273,9 @@ let counting_jobs counter =
       {
         j with
         Sweep.run =
-          (fun ~budget ->
+          (fun ~budget ~certify ->
             Atomic.incr counter;
-            j.Sweep.run ~budget);
+            j.Sweep.run ~budget ~certify);
       })
     (sweep_jobs ())
 
@@ -338,7 +343,7 @@ let test_sweep_budget_times_out () =
       strategy = "spin";
       width = 1;
       run =
-        (fun ~budget ->
+        (fun ~budget ~certify:_ ->
           (match budget.Sat.Solver.interrupt with
           | Some f ->
               (* deadline is wall-clock: poll until it passes *)
@@ -355,6 +360,7 @@ let test_sweep_budget_times_out () =
             cnf_clauses = 0;
             solver_stats = Sat.Stats.create ();
             proof = None;
+            certified = None;
           })
     }
   in
@@ -365,10 +371,99 @@ let test_sweep_budget_times_out () =
   | Run_record.Timeout -> ()
   | _ -> Alcotest.fail "budgeted spin job must time out"
 
-let contains ~needle haystack =
-  let n = String.length needle and h = String.length haystack in
-  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
-  n = 0 || at 0
+let test_sweep_certify_records_certified () =
+  (* acceptance criterion: sweep --certify --jobs 4 records certified: true
+     for every decisive cell *)
+  let records =
+    Sweep.run { no_io with Sweep.jobs = 4; certify = true } (sweep_jobs ())
+  in
+  List.iter
+    (fun (r : Run_record.t) ->
+      match r.Run_record.outcome with
+      | Run_record.Routable | Run_record.Unroutable ->
+          Alcotest.(check (option bool))
+            ("certified " ^ Run_record.key r)
+            (Some true) r.Run_record.certified
+      | Run_record.Timeout | Run_record.Crashed _ ->
+          Alcotest.(check (option bool)) "indecisive cells carry no flag" None
+            r.Run_record.certified)
+    records;
+  Alcotest.(check bool) "summary reports certification" true
+    (contains ~needle:"certified" (Sweep.summary records))
+
+let test_certified_record_json () =
+  let run =
+    Flow.check_width ~strategy:Strategy.best_single ~certify:true small_route
+      ~width:small_ub
+  in
+  let r = Run_record.of_run ~benchmark:"small" ~wall_seconds:0.25 run in
+  Alcotest.(check (option bool)) "certified in the record" (Some true)
+    r.Run_record.certified;
+  let line = Run_record.to_line r in
+  Alcotest.(check bool) "serialised" true
+    (contains ~needle:"\"certified\":true" line);
+  (match Run_record.of_line line with
+  | Ok r' -> Alcotest.(check bool) "roundtrip equal" true (Run_record.equal r r')
+  | Error m -> Alcotest.fail m);
+  (* no certification requested -> key absent, parses back as None *)
+  let plain =
+    Run_record.of_run ~benchmark:"small" ~wall_seconds:0.25
+      (sample_run small_ub)
+  in
+  Alcotest.(check bool) "absent when not requested" false
+    (contains ~needle:"certified" (Run_record.to_line plain))
+
+(* ---------- wall-clock timing ---------- *)
+
+(* The timing buckets must be wall clock, not process CPU time: a busy
+   domain running concurrently must not inflate them. Pre-fix (Sys.time),
+   the buckets of a run racing a spinner measured the spinner's CPU too and
+   summed to ~2x the enclosing wall interval on a multi-core machine; with
+   wall clock they are sub-intervals of it. *)
+let test_timings_are_wall_clock () =
+  let stop = Atomic.make false in
+  let spinner =
+    Domain.spawn (fun () ->
+        let junk = ref 0 in
+        while not (Atomic.get stop) do
+          for i = 0 to 9_999 do
+            junk := !junk + i
+          done
+        done;
+        !junk)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join spinner))
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let run = sample_run (max 1 (small_ub - 1)) in
+      let outer_wall = Unix.gettimeofday () -. t0 in
+      let buckets = Flow.total run.Flow.timings in
+      Alcotest.(check bool)
+        (Printf.sprintf "buckets (%.4fs) within the wall interval (%.4fs)"
+           buckets outer_wall)
+        true
+        (buckets <= (outer_wall *. 1.5) +. 0.05))
+
+let test_sweep_solving_time_independent_of_jobs () =
+  (* satellite regression test: per-cell solving times from a --jobs 4
+     sweep must be within noise of --jobs 1 on the same fixed cells *)
+  let solving records =
+    List.map
+      (fun (r : Run_record.t) -> r.Run_record.timings.Flow.solving)
+      records
+  in
+  let r1 = Sweep.run { no_io with Sweep.jobs = 1 } (sweep_jobs ()) in
+  let r4 = Sweep.run { no_io with Sweep.jobs = 4 } (sweep_jobs ()) in
+  List.iter2
+    (fun s1 s4 ->
+      Alcotest.(check bool)
+        (Printf.sprintf "solving %.4fs vs %.4fs within noise" s1 s4)
+        true
+        (s4 <= (3. *. s1) +. 0.05 && s1 <= (3. *. s4) +. 0.05))
+    (solving r1) (solving r4)
 
 let test_sweep_render_table_is_a_view () =
   let records = Sweep.run { no_io with Sweep.jobs = 1 } (sweep_jobs ()) in
@@ -521,6 +616,7 @@ let () =
           Alcotest.test_case "unknown keys ignored" `Quick
             test_run_record_ignores_unknown_keys;
           Alcotest.test_case "garbage rejected" `Quick test_run_record_rejects_garbage;
+          Alcotest.test_case "certified json" `Quick test_certified_record_json;
         ] );
       ( "sweep",
         [
@@ -532,7 +628,16 @@ let () =
           Alcotest.test_case "resume tolerates torn line" `Quick
             test_sweep_resume_tolerates_torn_line;
           Alcotest.test_case "budget times out" `Quick test_sweep_budget_times_out;
+          Alcotest.test_case "certify records certified" `Quick
+            test_sweep_certify_records_certified;
           Alcotest.test_case "table is a view" `Quick test_sweep_render_table_is_a_view;
+        ] );
+      ( "wall-clock",
+        [
+          Alcotest.test_case "timings are wall clock" `Quick
+            test_timings_are_wall_clock;
+          Alcotest.test_case "solving time independent of jobs" `Quick
+            test_sweep_solving_time_independent_of_jobs;
         ] );
       ( "solver-budget",
         [

@@ -171,7 +171,7 @@ let test_drat_check_validates_flow_proof () =
       | Sat.Solver.Unsat, _ -> ()
       | _ -> Alcotest.fail "expected UNSAT");
       (match Sat.Drat_check.check encoded.E.Csp_encode.cnf proof with
-      | Ok () -> ()
+      | Ok _ -> ()
       | Error e ->
           Alcotest.fail (Format.asprintf "%a" Sat.Drat_check.pp_error e))
 

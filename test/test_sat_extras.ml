@@ -78,40 +78,80 @@ let test_drat_accepts_php_proof () =
   | Solver.Unsat, _ -> ()
   | _ -> Alcotest.fail "PHP 5/4 is UNSAT");
   match Drat.check cnf proof with
-  | Ok () -> ()
+  | Ok _ -> ()
   | Error e -> Alcotest.fail (Format.asprintf "%a" Drat.pp_error e)
 
 let test_drat_rejects_bogus_addition () =
   let cnf = cnf_of 3 [ [ 1; 2 ]; [ -1; 3 ] ] in
   let proof = Proof.create () in
   Proof.add proof [ Lit.pos 0 ];
-  (* not implied by unit propagation *)
+  (* neither implied by unit propagation nor RAT on its pivot *)
   Proof.add proof [];
   match Drat.check cnf proof with
-  | Error { reason; _ } ->
-      Alcotest.(check bool) "complains about RUP" true
-        (reason = "added clause is not RUP")
-  | Ok () -> Alcotest.fail "bogus proof accepted"
+  | Error (Drat.Bad_step { step_index; reason }) ->
+      Alcotest.(check int) "fails at the bogus step" 0 step_index;
+      Alcotest.(check string) "complains about the inference"
+        "added clause is neither RUP nor RAT" reason
+  | Error (Drat.No_empty_clause _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "bogus proof accepted"
+
+(* XOR-shaped: UNSAT, but not by unit propagation alone, so the checker
+   cannot conclude at load time *)
+let xor_unsat () = cnf_of 2 [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ] ]
 
 let test_drat_rejects_missing_empty () =
-  let cnf = cnf_of 2 [ [ 1 ]; [ -1 ] ] in
+  let cnf = xor_unsat () in
   let proof = Proof.create () in
-  (* the empty clause IS derivable, but the trace never adds it *)
+  (* one (tolerated) deletion step, but no addition ever derives empty *)
+  Proof.delete proof [ Lit.pos 0; Lit.pos 1 ];
   match Drat.check cnf proof with
-  | Error { reason; _ } ->
-      Alcotest.(check bool) "mentions empty clause" true
-        (reason = "trace does not derive the empty clause")
-  | Ok () -> Alcotest.fail "incomplete trace accepted"
+  | Error (Drat.No_empty_clause { num_steps }) ->
+      (* the trace length, not a phantom step index one past the end *)
+      Alcotest.(check int) "reports the trace length" 1 num_steps;
+      let msg = Format.asprintf "%a" Drat.pp_error (Drat.No_empty_clause { num_steps }) in
+      Alcotest.(check bool) "pp mentions the length" true
+        (msg = "proof trace (1 steps) does not derive the empty clause")
+  | Error (Drat.Bad_step _) -> Alcotest.fail "wrong error"
+  | Ok _ -> Alcotest.fail "incomplete trace accepted"
 
-let test_drat_rejects_bad_deletion () =
-  let cnf = cnf_of 2 [ [ 1; 2 ] ] in
+let test_drat_tolerates_absent_deletion () =
+  let cnf = xor_unsat () in
   let proof = Proof.create () in
-  Proof.delete proof [ Lit.pos 0; Lit.neg_of 1 ];
+  (* deleting a clause that was never present is a counted no-op
+     (drat-trim convention; the solver's load-time simplification makes
+     external traces hit this legitimately) *)
+  Proof.delete proof [ Lit.pos 0; Lit.neg_of 1; Lit.pos 1 ];
+  Proof.add proof [ Lit.pos 1 ];
+  (* (x1) is RUP; installing it propagates to a top-level conflict *)
   match Drat.check cnf proof with
-  | Error { reason; _ } ->
-      Alcotest.(check bool) "mentions deletion" true
-        (reason = "deletion of a clause not present")
-  | Ok () -> Alcotest.fail "bad deletion accepted"
+  | Ok stats ->
+      Alcotest.(check int) "ignored deletion counted" 1
+        stats.Drat.ignored_deletions;
+      Alcotest.(check int) "no real deletion" 0 stats.Drat.deletions;
+      Alcotest.(check int) "one rup addition" 1 stats.Drat.rup_steps
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Drat.pp_error e)
+
+let test_drat_real_deletion_counted () =
+  (* the xor core plus a redundant clause (1|3) that the trace deletes
+     before finishing the refutation *)
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ -1; 2 ]; [ 1; -2 ]; [ -1; -2 ]; [ 1; 3 ] ] in
+  let proof = Proof.create () in
+  Proof.delete proof [ Lit.pos 0; Lit.pos 2 ];
+  Proof.add proof [ Lit.pos 1 ];
+  match Drat.check cnf proof with
+  | Ok stats ->
+      Alcotest.(check int) "deletion counted" 1 stats.Drat.deletions;
+      Alcotest.(check int) "no ignored deletion" 0 stats.Drat.ignored_deletions
+  | Error e -> Alcotest.fail (Format.asprintf "%a" Drat.pp_error e)
+
+let test_is_rat () =
+  (* F = {(a|b), (-a|c), (-b|c)}: (a) is not RUP — assuming -a propagates
+     nothing to conflict — but is RAT on a: the sole resolvent (c) is RUP *)
+  let cnf = cnf_of 3 [ [ 1; 2 ]; [ -1; 3 ]; [ -2; 3 ] ] in
+  Alcotest.(check bool) "not RUP" false (Drat.is_rup cnf [ Lit.pos 0 ]);
+  Alcotest.(check bool) "but RAT" true (Drat.is_rat cnf [ Lit.pos 0 ]);
+  Alcotest.(check bool) "RUP clauses are RAT too" true
+    (Drat.is_rat cnf [ Lit.pos 0; Lit.pos 2 ])
 
 let test_is_rup () =
   let cnf = cnf_of 3 [ [ 1; 2 ]; [ -2; 3 ] ] in
@@ -129,6 +169,52 @@ let prop_drat_checks_solver_proofs =
       match Solver.solve ~proof cnf with
       | Solver.Unsat, _ -> Result.is_ok (Drat.check cnf proof)
       | (Solver.Sat _ | Solver.Unknown), _ -> true)
+
+let prop_drat_agrees_with_reference =
+  QCheck2.Test.make ~count:300
+    ~name:"watched-literal checker agrees with the reference checker"
+    gen_random_cnf (fun input ->
+      let cnf = build input in
+      let proof = Proof.create () in
+      match Solver.solve ~proof cnf with
+      | Solver.Unsat, _ ->
+          Result.is_ok (Drat.check cnf proof)
+          = Result.is_ok (Drat.check_reference cnf proof)
+      | (Solver.Sat _ | Solver.Unknown), _ -> true)
+
+let test_proof_parse_roundtrip () =
+  let proof = Proof.create () in
+  Proof.add proof [ Lit.pos 0; Lit.neg_of 1 ];
+  Proof.delete proof [ Lit.pos 2 ];
+  Proof.add proof [];
+  let path = Filename.temp_file "fpgasat" ".drat" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Proof.output oc proof;
+      close_out oc;
+      let parsed = Proof.parse_file path in
+      Alcotest.(check bool) "steps survive the round trip" true
+        (Proof.steps parsed = Proof.steps proof))
+
+(* --- Solver.restart_limit_of_config --- *)
+
+let test_restart_limit_clamps () =
+  let cfg = { Solver.default with Solver.restart = Solver.Geometric (100, 1.5) } in
+  (* 100 * 1.5^k overflows float->int conversion far before k = 1000;
+     int_of_float of an out-of-range float is unspecified, so the limit
+     must clamp instead of going negative or garbage *)
+  Alcotest.(check int) "clamped at huge k" max_int
+    (Solver.restart_limit_of_config cfg 1000);
+  Alcotest.(check int) "small k exact" 150
+    (Solver.restart_limit_of_config cfg 1);
+  let prev = ref 0 in
+  for k = 0 to 200 do
+    let l = Solver.restart_limit_of_config cfg k in
+    Alcotest.(check bool) "monotone and positive" true (l >= !prev && l > 0);
+    prev := l
+  done
 
 (* --- Simplify --- *)
 
@@ -345,10 +431,20 @@ let () =
              test_drat_rejects_bogus_addition
         :: Alcotest.test_case "rejects missing empty clause" `Quick
              test_drat_rejects_missing_empty
-        :: Alcotest.test_case "rejects bad deletion" `Quick
-             test_drat_rejects_bad_deletion
+        :: Alcotest.test_case "tolerates absent deletion" `Quick
+             test_drat_tolerates_absent_deletion
+        :: Alcotest.test_case "counts real deletions" `Quick
+             test_drat_real_deletion_counted
         :: Alcotest.test_case "is_rup" `Quick test_is_rup
-        :: qtests [ prop_drat_checks_solver_proofs ] );
+        :: Alcotest.test_case "is_rat" `Quick test_is_rat
+        :: Alcotest.test_case "proof parse round trip" `Quick
+             test_proof_parse_roundtrip
+        :: qtests
+             [ prop_drat_checks_solver_proofs; prop_drat_agrees_with_reference ]
+      );
+      ( "restart-limit",
+        [ Alcotest.test_case "geometric clamps to max_int" `Quick
+            test_restart_limit_clamps ] );
       ( "simplify",
         Alcotest.test_case "unit chain" `Quick test_simplify_units
         :: Alcotest.test_case "detects unsat" `Quick test_simplify_detects_unsat
