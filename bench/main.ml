@@ -57,10 +57,13 @@ let jobs = ref 1
 let out_file = ref ""
 let resume = ref false
 let certify = ref false
+let chaos = ref false
+let chaos_seed = ref 2008
 
 let usage =
   "main.exe [--budget SEC] [--sections a,b,c] [--jobs N] [--out FILE.jsonl] \
-   [--resume] [--certify] [--bechamel] [--encode-bench]"
+   [--resume] [--certify] [--chaos] [--chaos-seed N] [--bechamel] \
+   [--encode-bench]"
 
 let arg_spec =
   [
@@ -77,6 +80,13 @@ let arg_spec =
       Arg.Set certify,
       " independently certify every decisive cell of the matrix sections \
        (DRAT check on UNSAT, model + architecture check on SAT)" );
+    ( "--chaos",
+      Arg.Set chaos,
+      " run the chaos-harness robustness section: inject every fault kind \
+       into a seeded sweep and check the supervisor's invariants" );
+    ( "--chaos-seed",
+      Arg.Set_int chaos_seed,
+      "N seed of the deterministic chaos plan (default 2008)" );
     ("--bechamel", Arg.Set with_bechamel, " also run the Bechamel micro-benchmarks");
     ( "--encode-bench",
       Arg.Set encode_bench_only,
@@ -119,7 +129,7 @@ let record_index records =
 (* a timed record cell: total CPU time, or the budget on T/O *)
 let record_seconds (r : Run_record.t) =
   match r.Run_record.outcome with
-  | Run_record.Timeout -> !budget_seconds
+  | Run_record.Timeout | Run_record.Memout -> !budget_seconds
   | Run_record.Routable | Run_record.Unroutable | Run_record.Crashed _ ->
       Run_record.total_seconds r
 
@@ -129,6 +139,7 @@ let record_timed_out (r : Run_record.t) =
 let record_text (r : Run_record.t) =
   match r.Run_record.outcome with
   | Run_record.Timeout -> "T/O"
+  | Run_record.Memout -> "M/O"
   | Run_record.Crashed _ -> "crash"
   | Run_record.Routable | Run_record.Unroutable ->
       Report.format_seconds (record_seconds r)
@@ -176,7 +187,7 @@ let run_cell ?(width_delta = -1) pb strat =
       pb.inst.F.Benchmarks.route ~width
   in
   match run.Flow.outcome with
-  | Flow.Timeout ->
+  | Flow.Timeout | Flow.Memout ->
       { seconds = !budget_seconds; timed_out = true; outcome = run.Flow.outcome }
   | Flow.Routable _ | Flow.Unroutable ->
       {
@@ -317,7 +328,8 @@ let section_table2 () =
                   (bench_name pb)
             | Run_record.Crashed m ->
                 Printf.eprintf "WARNING: %s cell crashed: %s\n" (bench_name pb) m
-            | Run_record.Unroutable | Run_record.Timeout -> ())
+            | Run_record.Unroutable | Run_record.Timeout | Run_record.Memout ->
+                ())
           cells;
         Printf.sprintf "%s (W=%d)" (bench_name pb) (pb.w_min - 1)
         :: List.map record_text cells)
@@ -385,7 +397,8 @@ let section_routable () =
               (match r.Run_record.outcome with
               | Run_record.Unroutable ->
                   Printf.eprintf "WARNING: %s at w_min unroutable!\n" (bench_name pb)
-              | Run_record.Routable | Run_record.Timeout | Run_record.Crashed _ ->
+              | Run_record.Routable | Run_record.Timeout | Run_record.Memout
+              | Run_record.Crashed _ ->
                   ());
               record_text r)
             cols
@@ -672,6 +685,7 @@ let section_extensions () =
           | Sat.Solver.Unsat -> ""
           | Sat.Solver.Sat _ -> "?!"
           | Sat.Solver.Unknown -> "T/O "
+          | Sat.Solver.Memout -> "M/O "
         in
         [
           bench_name pb;
@@ -947,7 +961,7 @@ let section_certify () =
               match run.Flow.outcome with
               | Flow.Routable _ -> Some true
               | Flow.Unroutable -> Some false
-              | Flow.Timeout -> None
+              | Flow.Timeout | Flow.Memout -> None
             in
             let dpll_answer =
               match dpll with
@@ -994,6 +1008,158 @@ let section_certify () =
     (List.length E.Registry.all)
     !certified !mismatches;
   if !mismatches > 0 then failwith "solver/DPLL/exact-colouring disagreement"
+
+(* ------------------------------------------------------------------ *)
+(* Chaos harness (robustness check, not a paper section)                *)
+
+(* Injects every fault kind into a table2-style queue through a seeded
+   deterministic plan (Fpgasat_engine.Chaos) and checks the supervisor's
+   promises: the sweep never aborts, every cell yields exactly one
+   classified record, memory-faulted cells end cooperatively as M/O while
+   the process survives, and a resume over the same queue re-runs at most
+   the records the torn-tail faults destroyed. Any violation raises, so CI
+   can run this section as a smoke test. *)
+let section_chaos () =
+  print_string
+    (Report.section "Chaos harness: sweep supervisor under injected faults");
+  let benches = Lazy.force prepared in
+  let cols =
+    List.filteri (fun i _ -> i < 7) (List.map strategy_of_column table2_columns)
+  in
+  let cells =
+    List.concat_map
+      (fun pb ->
+        List.map
+          (fun strat ->
+            Sweep.cell ~benchmark:(bench_name pb) strat
+              pb.inst.F.Benchmarks.route ~width:(pb.w_min - 1))
+          cols)
+      benches
+  in
+  let heap_mb =
+    (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / (1024 * 1024)
+  in
+  let ceiling = heap_mb + 256 in
+  let plan = Eng.Chaos.make ~seed:!chaos_seed ~cells:(List.length cells) in
+  let described = Eng.Chaos.described plan in
+  let faulted = List.length (List.filter (fun (_, f) -> f <> None) described) in
+  let torn =
+    List.length (List.filter (fun (_, f) -> f = Some "torn_tail") described)
+  in
+  Printf.printf
+    "seed %d: %d cells (%d benchmarks x %d strategies at w_min-1), %d \
+     faulted;\nheap %d MB, memory ceiling %d MB, retry x2 with fallback \
+     presets.\n\n"
+    !chaos_seed (List.length cells) (List.length benches) (List.length cols)
+    faulted heap_mb ceiling;
+  let out = Filename.temp_file "fpgasat_chaos" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ out; out ^ ".lock" ])
+    (fun () ->
+      let config =
+        {
+          (sweep_config ()) with
+          Sweep.jobs = 1;
+          poll_every = 1;
+          out = Some out;
+          resume = true;
+          certify = true;
+          capture_backtrace = true;
+          max_memory_mb = Some ceiling;
+          retry =
+            {
+              Sweep.max_attempts = 2;
+              escalation = 2.0;
+              fallback_presets = true;
+            };
+        }
+      in
+      let records =
+        match Sweep.run config (Eng.Chaos.inject ~out plan cells) with
+        | r -> r
+        | exception e ->
+            failwith
+              ("CHAOS VIOLATION: sweep aborted: " ^ Printexc.to_string e)
+      in
+      if List.length records <> List.length cells then
+        failwith "CHAOS VIOLATION: record count differs from cell count";
+      let unclassified =
+        List.filter
+          (fun (r : Run_record.t) ->
+            (not (Run_record.decisive r)) && r.Run_record.failure = None)
+          records
+      in
+      if unclassified <> [] then
+        failwith
+          (Printf.sprintf
+             "CHAOS VIOLATION: %d non-decisive records carry no failure \
+              classification"
+             (List.length unclassified));
+      (* fault kind x outcome matrix *)
+      let kinds =
+        "healthy"
+        :: Array.to_list (Array.map Eng.Chaos.fault_name Eng.Chaos.all_kinds)
+      in
+      let outcomes = [ "routable"; "unroutable"; "timeout"; "memout"; "crashed" ] in
+      let count = Hashtbl.create 32 in
+      List.iteri
+        (fun i (r : Run_record.t) ->
+          let kind =
+            match Eng.Chaos.fault plan i with
+            | None -> "healthy"
+            | Some f -> Eng.Chaos.fault_name f
+          in
+          let o =
+            match r.Run_record.outcome with
+            | Run_record.Crashed _ -> "crashed"
+            | o -> Run_record.outcome_name o
+          in
+          let key = (kind, o) in
+          Hashtbl.replace count key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt count key)))
+        records;
+      print_string
+        (Report.matrix ~corner:"fault \\ outcome" ~rows:kinds ~cols:outcomes
+           ~cell:(fun ~row ~col ->
+             match Hashtbl.find_opt count (row, col) with
+             | Some n -> string_of_int n
+             | None -> ".")
+           ());
+      let on_disk, bad = Sweep.load out in
+      Printf.printf
+        "\n%s\nresults file: %d records parsed, %d torn lines (%d torn-tail \
+         faults injected)\n"
+        (Sweep.summary records) (List.length on_disk) bad torn;
+      if bad > torn then
+        failwith "CHAOS VIOLATION: more torn lines than torn-tail faults";
+      (* resume over the same queue with the faults removed: every surviving
+         record must be trusted, so at most the records destroyed by torn
+         tails (the torn line plus the record glued onto it) may re-run *)
+      let reran = Hashtbl.create 16 in
+      let counted =
+        List.map
+          (fun (j : Sweep.job) ->
+            {
+              j with
+              Sweep.run =
+                (fun ~budget ~certify ~fallback ->
+                  (* one mark per cell, not per attempt *)
+                  Hashtbl.replace reran
+                    (j.Sweep.benchmark, j.Sweep.strategy, j.Sweep.width) ();
+                  j.Sweep.run ~budget ~certify ~fallback);
+            })
+          cells
+      in
+      let again = Sweep.run config counted in
+      let reran = Hashtbl.length reran in
+      Printf.printf "resume: %d/%d cells re-ran (torn budget %d)\n" reran
+        (List.length again) (2 * torn);
+      if reran > 2 * torn then
+        failwith "CHAOS VIOLATION: resume re-ran cells whose records survived";
+      print_endline "chaos harness: all supervisor invariants held\n")
 
 (* ------------------------------------------------------------------ *)
 (* Encode+load throughput on the largest bundled configuration          *)
@@ -1073,5 +1239,6 @@ let () =
   if section_enabled "incremental" then section_incremental ();
   if section_enabled "channel" then section_channel ();
   if section_enabled "certify" then section_certify ();
+  if !chaos then section_chaos ();
   if !with_bechamel then section_bechamel ();
   Printf.printf "total harness wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

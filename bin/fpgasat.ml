@@ -269,6 +269,9 @@ let route_cmd =
     | C.Flow.Timeout ->
         Printf.printf "TIMEOUT: budget exhausted without an answer\n";
         `Ok ()
+    | C.Flow.Memout ->
+        Printf.printf "MEMOUT: memory budget exhausted without an answer\n";
+        `Ok ()
     end
   in
   Cmd.v
@@ -340,7 +343,8 @@ let portfolio_cmd =
           (match m.Eng.Portfolio.run.C.Flow.outcome with
           | C.Flow.Routable _ -> "ROUTABLE "
           | C.Flow.Unroutable -> "UNROUTABLE"
-          | C.Flow.Timeout -> "cancelled/timeout")
+          | C.Flow.Timeout -> "cancelled/timeout"
+          | C.Flow.Memout -> "memout")
           (C.Flow.total m.Eng.Portfolio.run.C.Flow.timings)
           m.Eng.Portfolio.wall_seconds)
       result.Eng.Portfolio.members;
@@ -419,7 +423,42 @@ let sweep_cmd =
                    CNF and the architecture; records gain a $(b,certified) \
                    field.")
   in
-  let run benchmarks strategies widths jobs budget out resume certify =
+  let max_memory_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-memory-mb" ] ~docv:"MB"
+             ~doc:"Per-attempt process-heap ceiling; a cell crossing it ends \
+                   as $(b,memout) cooperatively instead of taking the sweep \
+                   down.")
+  in
+  let max_attempts_arg =
+    Arg.(value & opt int 1
+         & info [ "max-attempts" ] ~docv:"N"
+             ~doc:"Attempts per cell (default 1). With N > 1, non-decisive \
+                   cells are retried with escalated budgets and cells that \
+                   fail every attempt are quarantined: recorded, skipped by \
+                   future $(b,--resume)s, counted in the summary.")
+  in
+  let escalation_arg =
+    Arg.(value & opt float 2.0
+         & info [ "escalation" ] ~docv:"F"
+             ~doc:"Budget escalation per retry: attempt n runs with the time \
+                   and memory budgets scaled by F^(n-1) (default 2.0).")
+  in
+  let fallback_arg =
+    Arg.(value & flag
+         & info [ "fallback" ]
+             ~doc:"Walk the solver ladder on retries: attempt 2 swaps the \
+                   preset for minisat, attempt 3+ runs the plain DPLL \
+                   backend. Records keep the cell's own strategy key.")
+  in
+  let backtrace_arg =
+    Arg.(value & flag
+         & info [ "backtrace" ]
+             ~doc:"Record crash backtraces into the $(b,backtrace) record \
+                   field.")
+  in
+  let run benchmarks strategies widths jobs budget out resume certify
+      max_memory_mb max_attempts escalation fallback backtrace =
     if resume && out = None then
       `Error (true, "--resume requires --out FILE")
     else begin
@@ -489,9 +528,17 @@ let sweep_cmd =
           Eng.Sweep.default_config with
           Eng.Sweep.jobs = Option.value jobs ~default:(Eng.Pool.default_jobs ());
           budget_seconds = budget;
+          max_memory_mb;
           out;
           resume;
           certify;
+          retry =
+            {
+              Eng.Sweep.max_attempts = max 1 max_attempts;
+              escalation;
+              fallback_presets = fallback;
+            };
+          capture_backtrace = backtrace;
           on_progress =
             Some
               (fun p ->
@@ -529,7 +576,9 @@ let sweep_cmd =
                same command with --resume.";
          ])
     Term.(ret (const run $ benchmarks_arg $ strategies_arg $ widths_arg
-               $ jobs_arg $ budget_arg $ out_arg $ resume_arg $ certify_arg))
+               $ jobs_arg $ budget_arg $ out_arg $ resume_arg $ certify_arg
+               $ max_memory_arg $ max_attempts_arg $ escalation_arg
+               $ fallback_arg $ backtrace_arg))
 
 (* ---------- report ---------- *)
 
@@ -722,6 +771,10 @@ let route_file_cmd =
         | C.Flow.Timeout ->
             Printf.printf "TIMEOUT
 ";
+            `Ok ()
+        | C.Flow.Memout ->
+            Printf.printf "MEMOUT
+";
             `Ok ())
   in
   Cmd.v
@@ -762,7 +815,8 @@ let solve_cmd =
               model;
             print_endline "0"
         | Sat.Solver.Unsat -> print_endline "s UNSATISFIABLE"
-        | Sat.Solver.Unknown -> print_endline "s UNKNOWN");
+        | Sat.Solver.Unknown -> print_endline "s UNKNOWN"
+        | Sat.Solver.Memout -> print_endline "s UNKNOWN (memout)");
         `Ok ()
   in
   Cmd.v
@@ -829,6 +883,7 @@ let color_cmd =
             | Sat.Solver.Sat model -> print_coloring (E.Csp_encode.decode encoded model)
             | Sat.Solver.Unsat -> Printf.printf "NOT %d-colourable\n" k
             | Sat.Solver.Unknown -> print_endline "UNKNOWN (budget exhausted)"
+            | Sat.Solver.Memout -> print_endline "UNKNOWN (memory budget exhausted)"
         in
         (match method_ with
         | `Exact -> (

@@ -56,6 +56,7 @@ let () =
         | C.Flow.Unroutable -> Printf.sprintf "%12.3f" run.C.Flow.timings.C.Flow.solving
         | C.Flow.Routable _ -> "    ROUTABLE?"
         | C.Flow.Timeout -> "         T/O"
+        | C.Flow.Memout -> "         M/O"
       in
       Printf.printf "  %-26s %10d %10d %10s %s\n" (E.Encoding.name e)
         run.C.Flow.cnf_vars run.C.Flow.cnf_clauses "-" outcome)

@@ -38,7 +38,8 @@ let () =
     (match single.C.Flow.outcome with
     | C.Flow.Unroutable -> "UNROUTABLE"
     | C.Flow.Routable _ -> "ROUTABLE"
-    | C.Flow.Timeout -> "timeout")
+    | C.Flow.Timeout -> "timeout"
+    | C.Flow.Memout -> "memout")
     single_wall;
 
   (* the 3-member portfolio, one domain per member, first answer wins *)
@@ -56,7 +57,8 @@ let () =
         (match m.P.run.C.Flow.outcome with
         | C.Flow.Unroutable -> "UNROUTABLE"
         | C.Flow.Routable _ -> "ROUTABLE"
-        | C.Flow.Timeout -> "cancelled")
+        | C.Flow.Timeout -> "cancelled"
+        | C.Flow.Memout -> "memout")
         m.P.wall_seconds)
     result.P.members;
   (match result.P.winner with

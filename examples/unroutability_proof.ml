@@ -82,6 +82,7 @@ let () =
         run.C.Flow.solver_stats.Sat.Stats.conflicts w
   | C.Flow.Routable _, _ -> print_endline "unexpected: routable below w_min!"
   | C.Flow.Timeout, _ -> print_endline "budget exhausted"
+  | C.Flow.Memout, _ -> print_endline "memory budget exhausted"
   | C.Flow.Unroutable, None -> assert false);
 
   (* the clique bound alone does not explain the refutation in general *)

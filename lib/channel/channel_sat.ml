@@ -88,7 +88,7 @@ let route ?encoding ?config ?budget channel connections =
     let cnf, layout, conns, nslots = build encoding channel connections in
     match Sat.Solver.solve ?config ?budget cnf with
     | Sat.Solver.Unsat, _ -> Unroutable
-    | Sat.Solver.Unknown, _ -> Timeout
+    | (Sat.Solver.Unknown | Sat.Solver.Memout), _ -> Timeout
     | Sat.Solver.Sat model, _ ->
         let track_of i =
           let slot_value s =

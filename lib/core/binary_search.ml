@@ -29,12 +29,14 @@ let minimal_width ?strategy ?budget route =
       | Flow.Routable detailed -> search lo mid (Some detailed) best_unsat
       | Flow.Unroutable -> search (mid + 1) hi best_routing (Some run)
       | Flow.Timeout -> Error "budget exhausted during width search"
+      | Flow.Memout -> Error "memory budget exhausted during width search"
   in
   (* make sure the DSATUR bound is actually routable (it must be; checking
      also produces the routing object) *)
   let top = check upper in
   match top.Flow.outcome with
   | Flow.Timeout -> Error "budget exhausted at the upper bound"
+  | Flow.Memout -> Error "memory budget exhausted at the upper bound"
   | Flow.Unroutable ->
       Error "internal error: DSATUR width reported unroutable"
   | Flow.Routable top_routing -> (

@@ -11,6 +11,7 @@ type outcome =
   | Routable of F.Detailed_route.t
   | Unroutable
   | Timeout
+  | Memout
 
 type run = {
   outcome : outcome;
@@ -28,10 +29,11 @@ let outcome_name = function
   | Routable _ -> "routable"
   | Unroutable -> "unroutable"
   | Timeout -> "timeout"
+  | Memout -> "memout"
 
 let decisive = function
   | Routable _ | Unroutable -> true
-  | Timeout -> false
+  | Timeout | Memout -> false
 
 exception Decode_mismatch of string
 
@@ -63,8 +65,37 @@ let solve_csp strategy budget proof csp =
         else `Colorable (coloring, model)
     | Sat.Solver.Unsat -> `Uncolorable
     | Sat.Solver.Unknown -> `Timeout
+    | Sat.Solver.Memout -> `Memout
   in
   (answer, encoded, stats, to_cnf, solving)
+
+(* The DPLL backend is the retry ladder's last rung: no learnt-clause
+   database, so a cell that memouts under CDCL may still finish here. The
+   only budget DPLL understands is a decision bound, so [max_conflicts]
+   stands in for it; no proof is recorded. *)
+let solve_csp_dpll strategy budget csp =
+  let encoded, to_cnf =
+    timed (fun () ->
+        E.Csp_encode.encode ?symmetry:strategy.Strategy.symmetry
+          strategy.Strategy.encoding csp)
+  in
+  let max_decisions =
+    Option.value budget.Sat.Solver.max_conflicts ~default:2_000_000
+  in
+  let result, solving =
+    timed (fun () -> Sat.Dpll.solve ~max_decisions encoded.E.Csp_encode.cnf)
+  in
+  let answer =
+    match result with
+    | Sat.Dpll.Sat model ->
+        let coloring = E.Csp_encode.decode encoded model in
+        if not (E.Csp.solution_ok csp coloring) then
+          raise (Decode_mismatch "decoded colouring is not proper")
+        else `Colorable (coloring, model)
+    | Sat.Dpll.Unsat -> `Uncolorable
+    | Sat.Dpll.Unknown -> `Timeout
+  in
+  (answer, encoded, Sat.Stats.create (), to_cnf, solving)
 
 let color_graph ?(strategy = Strategy.best_single)
     ?(budget = Sat.Solver.no_budget) graph ~k =
@@ -75,13 +106,13 @@ let color_graph ?(strategy = Strategy.best_single)
   let answer =
     match answer with
     | `Colorable (coloring, _model) -> `Colorable coloring
-    | (`Uncolorable | `Timeout) as a -> a
+    | (`Uncolorable | `Timeout | `Memout) as a -> a
   in
   (answer, { to_graph; to_cnf; solving })
 
 let check_width ?(strategy = Strategy.best_single)
     ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
-    route ~width =
+    ?(backend = `Cdcl) route ~width =
   if width < 1 then invalid_arg "Flow.check_width: width < 1";
   let (graph, csp), to_graph =
     timed (fun () ->
@@ -90,10 +121,15 @@ let check_width ?(strategy = Strategy.best_single)
   in
   ignore graph;
   let proof =
-    if want_proof || certify then Some (Sat.Proof.create ()) else None
+    match backend with
+    | `Dpll -> None
+    | `Cdcl ->
+        if want_proof || certify then Some (Sat.Proof.create ()) else None
   in
   let answer, encoded, stats, to_cnf, solving =
-    solve_csp strategy budget proof csp
+    match backend with
+    | `Cdcl -> solve_csp strategy budget proof csp
+    | `Dpll -> solve_csp_dpll strategy budget csp
   in
   let cnf = encoded.E.Csp_encode.cnf in
   let outcome, certified =
@@ -124,6 +160,7 @@ let check_width ?(strategy = Strategy.best_single)
         in
         (Unroutable, certified)
     | `Timeout -> (Timeout, None)
+    | `Memout -> (Memout, None)
   in
   {
     outcome;

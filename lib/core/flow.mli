@@ -23,10 +23,14 @@ type outcome =
       (** The CNF is unsatisfiable: no detailed routing with this width
           exists for this global routing. *)
   | Timeout  (** Budget exhausted: no answer. *)
+  | Memout
+      (** The solver's [max_memory_mb] ceiling was crossed and the search
+          stopped cooperatively: no answer, but the process survived. *)
 
 val outcome_name : outcome -> string
-(** ["routable"], ["unroutable"] or ["timeout"] — the stable tags used by
-    the machine-readable run records (see [Fpgasat_engine.Run_record]). *)
+(** ["routable"], ["unroutable"], ["timeout"] or ["memout"] — the stable
+    tags used by the machine-readable run records (see
+    [Fpgasat_engine.Run_record]). *)
 
 val decisive : outcome -> bool
 (** True on {!Routable} and {!Unroutable}: the question was answered. *)
@@ -57,19 +61,28 @@ val check_width :
   ?budget:Fpgasat_sat.Solver.budget ->
   ?want_proof:bool ->
   ?certify:bool ->
+  ?backend:[ `Cdcl | `Dpll ] ->
   Fpgasat_fpga.Global_route.t ->
   width:int ->
   run
 (** Decides detailed routability of a global routing with [width] tracks.
     Default strategy: {!Strategy.best_single}. With [~certify:true] (default
     false) a proof is recorded regardless of [want_proof] and the answer is
-    independently checked — see {!field-run.certified}. *)
+    independently checked — see {!field-run.certified}.
+
+    [backend] (default [`Cdcl]) selects the solver. [`Dpll] runs the plain
+    DPLL solver instead — the last rung of the sweep supervisor's fallback
+    ladder for cells that crash or memout under CDCL. DPLL honours only
+    [budget.max_conflicts] (as a decision bound, default 2M) and records no
+    proof, so a certified UNSAT answer is impossible ([certified = Some
+    false] when requested); SAT answers still certify via model checking. *)
 
 val color_graph :
   ?strategy:Strategy.t ->
   ?budget:Fpgasat_sat.Solver.budget ->
   Fpgasat_graph.Graph.t ->
   k:int ->
-  [ `Colorable of Fpgasat_graph.Coloring.t | `Uncolorable | `Timeout ] * timings
+  [ `Colorable of Fpgasat_graph.Coloring.t | `Uncolorable | `Timeout | `Memout ]
+  * timings
 (** The same engine on a bare colouring problem (used by benches operating
     directly on conflict graphs, and by the binary search). *)

@@ -55,6 +55,7 @@ let minimal_colors ?(strategy = Strategy.best_single)
           | Some coloring -> Ok (w + 1, coloring)
           | None -> Error "DSATUR width came out uncolourable")
       | Sat.Solver.Q_unknown -> Error "budget exhausted during width search"
+      | Sat.Solver.Q_memout -> Error "memory budget exhausted during width search"
       | Sat.Solver.Q_sat model ->
           let coloring = E.Csp_encode.decode encoded model in
           if not (E.Csp.solution_ok csp coloring) then

@@ -1,0 +1,53 @@
+module C = Fpgasat_core
+
+type t =
+  | Timeout
+  | Memout
+  | Crash of { exn_class : string; message : string; backtrace : string option }
+
+let of_outcome = function
+  | C.Flow.Routable _ | C.Flow.Unroutable -> None
+  | C.Flow.Timeout -> Some Timeout
+  | C.Flow.Memout -> Some Memout
+
+let of_error (e : Pool.error) =
+  Crash
+    {
+      exn_class = e.Pool.exn_class;
+      message = e.Pool.message;
+      backtrace = e.Pool.backtrace;
+    }
+
+let of_exn ?backtrace e =
+  Crash
+    {
+      exn_class = Printexc.exn_slot_name e;
+      message = Printexc.to_string e;
+      backtrace;
+    }
+
+let name = function
+  | Timeout -> "timeout"
+  | Memout -> "memout"
+  | Crash { exn_class; _ } -> "crash:" ^ exn_class
+
+let message = function
+  | Timeout -> "wall-clock or conflict budget exhausted"
+  | Memout -> "memory budget exhausted"
+  | Crash { message; _ } -> message
+
+let backtrace = function
+  | Timeout | Memout -> None
+  | Crash { backtrace; _ } -> backtrace
+
+(* Retries help when the failure might not recur under a bigger budget or a
+   different solver; a crash is deterministic for a deterministic solver but
+   the fallback presets may still dodge it, so everything is retryable — the
+   distinction the supervisor acts on is decisive vs. not. *)
+let transient = function Timeout | Memout -> true | Crash _ -> false
+
+let pp ppf f =
+  match f with
+  | Timeout | Memout -> Format.pp_print_string ppf (name f)
+  | Crash { exn_class; message; _ } ->
+      Format.fprintf ppf "crash:%s (%s)" exn_class message

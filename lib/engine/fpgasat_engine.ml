@@ -2,13 +2,18 @@
 
     {!Pool} is a bounded pool of OCaml 5 domains; {!Sweep} runs work queues
     of [benchmark × strategy × width] cells over it with per-job budgets,
-    crash isolation, streamed JSONL results and resume; {!Run_record} is
-    the stable one-line-JSON schema those results use; {!Portfolio} races
-    strategies on the same pool with first-answer-wins cancellation;
-    {!Json} is the dependency-free JSON substrate. *)
+    crash isolation, retry/quarantine supervision, streamed JSONL results
+    and resume; {!Run_record} is the stable one-line-JSON schema those
+    results use; {!Failure} is the taxonomy the supervisor classifies
+    non-decisive cells with; {!Chaos} injects deterministic faults into job
+    queues to test the supervisor itself; {!Portfolio} races strategies on
+    the same pool with first-answer-wins cancellation; {!Json} is the
+    dependency-free JSON substrate. *)
 
 module Json = Json
 module Pool = Pool
 module Run_record = Run_record
+module Failure = Failure
 module Sweep = Sweep
+module Chaos = Chaos
 module Portfolio = Portfolio

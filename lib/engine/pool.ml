@@ -1,6 +1,21 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
-let map ?jobs ?on_done thunks =
+type error = {
+  exn_class : string;
+  message : string;
+  backtrace : string option;
+}
+
+let error_of_exn ?backtrace e =
+  {
+    exn_class = Printexc.exn_slot_name e;
+    message = Printexc.to_string e;
+    backtrace;
+  }
+
+let not_run = { exn_class = "Pool.Not_run"; message = "not run"; backtrace = None }
+
+let map ?jobs ?(record_backtrace = false) ?on_done thunks =
   let n = Array.length thunks in
   if n = 0 then [||]
   else begin
@@ -8,7 +23,7 @@ let map ?jobs ?on_done thunks =
       match jobs with Some j -> max 1 j | None -> default_jobs ()
     in
     let workers = min jobs n in
-    let results = Array.make n (Error "not run") in
+    let results = Array.make n (Error not_run) in
     let next = Atomic.make 0 in
     let completed = Atomic.make 0 in
     let lock = Mutex.create () in
@@ -20,13 +35,26 @@ let map ?jobs ?on_done thunks =
           Mutex.lock lock;
           Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> f c)
     in
+    (* [record_backtrace] flips a per-domain runtime flag, so each worker
+       sets it for itself; restoring is unnecessary (workers are fresh
+       domains) except in the jobs=1 in-caller path, which restores it. *)
     let worker () =
+      if record_backtrace then Printexc.record_backtrace true;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let r =
             try Ok (thunks.(i) ())
-            with e -> Error (Printexc.to_string e)
+            with e ->
+              let backtrace =
+                if record_backtrace then
+                  (* capture before any further allocation disturbs it *)
+                  match Printexc.get_backtrace () with
+                  | "" -> None
+                  | bt -> Some bt
+                else None
+              in
+              Error (error_of_exn ?backtrace e)
           in
           results.(i) <- r;
           report ();
@@ -35,7 +63,12 @@ let map ?jobs ?on_done thunks =
       in
       loop ()
     in
-    if workers = 1 then worker ()
+    if workers = 1 then begin
+      let saved = Printexc.backtrace_status () in
+      Fun.protect
+        ~finally:(fun () -> Printexc.record_backtrace saved)
+        worker
+    end
     else begin
       let domains = List.init workers (fun _ -> Domain.spawn worker) in
       List.iter Domain.join domains

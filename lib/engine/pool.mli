@@ -4,23 +4,44 @@
     {!Portfolio}: instead of spawning one unbounded domain per task, a fixed
     number of worker domains pull job indices from a shared counter until
     the queue drains. Results keep the input order, and a job that raises is
-    isolated: its slot becomes [Error msg] and the other jobs are
+    isolated: its slot becomes [Error _] and the other jobs are
     unaffected. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size that saturates the
     machine without oversubscribing it. *)
 
+type error = {
+  exn_class : string;
+      (** [Printexc.exn_slot_name] of the raised exception — a stable
+          constructor name ("Failure", "Stack_overflow", …) the failure
+          taxonomy can classify on, independent of the printed payload. *)
+  message : string;  (** [Printexc.to_string] of the exception. *)
+  backtrace : string option;
+      (** Present only when [map] ran with [~record_backtrace:true] and the
+          runtime produced a non-empty trace. *)
+}
+
+val error_of_exn : ?backtrace:string -> exn -> error
+(** Builds an {!error} from a caught exception; exposed for callers that
+    catch around the pool (e.g. the sweep's own per-cell wrapper). *)
+
 val map :
   ?jobs:int ->
+  ?record_backtrace:bool ->
   ?on_done:(int -> unit) ->
   (unit -> 'a) array ->
-  ('a, string) result array
+  ('a, error) result array
 (** [map ~jobs thunks] runs every thunk and returns their results in input
     order. At most [min jobs (Array.length thunks)] worker domains run at
     once (default {!default_jobs}; values below 1 are clamped to 1). With
     [jobs = 1] everything runs sequentially in the calling domain — no
     domain is spawned, so single-job runs execute in a deterministic order.
+
+    [record_backtrace] (default false) turns on backtrace recording inside
+    each worker domain so a crashing thunk's {!error} carries its trace;
+    recording costs a little time per raised-and-caught exception, hence
+    opt-in.
 
     [on_done], if given, is called after each job completes with the number
     of jobs completed so far (1-based, monotonic); calls are serialised
@@ -28,5 +49,5 @@ val map :
     raise: an exception from [on_done] kills its worker and the jobs that
     worker would have run are left as [Error].
 
-    A thunk that raises yields [Error (Printexc.to_string exn)] in its
-    slot; the sweep continues. *)
+    A thunk that raises yields [Error e] in its slot, with the exception
+    class, message and optional backtrace; the sweep continues. *)

@@ -29,10 +29,10 @@ let members_of_results strategies results =
     (fun strategy result ->
       match result with
       | Ok m -> m
-      | Error msg ->
+      | Error e ->
           failwith
             (Printf.sprintf "Portfolio.run: member %s raised: %s"
-               (C.Strategy.name strategy) msg))
+               (C.Strategy.name strategy) e.Pool.message))
     strategies
     (Array.to_list results)
 

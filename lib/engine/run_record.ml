@@ -5,6 +5,7 @@ type outcome =
   | Routable
   | Unroutable
   | Timeout
+  | Memout
   | Crashed of string
 
 type t = {
@@ -18,6 +19,10 @@ type t = {
   cnf_clauses : int;
   stats : Sat.Stats.t;
   certified : bool option;
+  attempts : int option;
+  failure : string option;
+  backtrace : string option;
+  quarantined : bool;
 }
 
 let schema_version = "fpgasat.run/1"
@@ -31,34 +36,48 @@ let outcome_name = function
   | Routable -> "routable"
   | Unroutable -> "unroutable"
   | Timeout -> "timeout"
+  | Memout -> "memout"
   | Crashed _ -> "crashed"
 
 let decisive r =
   match r.outcome with
   | Routable | Unroutable -> true
-  | Timeout | Crashed _ -> false
+  | Timeout | Memout | Crashed _ -> false
 
 let total_seconds r = C.Flow.total r.timings
 
-let of_run ~benchmark ~wall_seconds (run : C.Flow.run) =
+(* [?strategy] overrides the name taken from the run: when a retry ladder
+   answers a cell with a fallback preset, the record must still carry the
+   cell's own strategy so its resume key stays stable. *)
+let of_run ?strategy ?attempts ?failure ?(quarantined = false) ~benchmark
+    ~wall_seconds (run : C.Flow.run) =
   {
     benchmark;
-    strategy = C.Strategy.name run.C.Flow.strategy;
+    strategy =
+      (match strategy with
+      | Some s -> s
+      | None -> C.Strategy.name run.C.Flow.strategy);
     width = run.C.Flow.width;
     outcome =
       (match run.C.Flow.outcome with
       | C.Flow.Routable _ -> Routable
       | C.Flow.Unroutable -> Unroutable
-      | C.Flow.Timeout -> Timeout);
+      | C.Flow.Timeout -> Timeout
+      | C.Flow.Memout -> Memout);
     timings = run.C.Flow.timings;
     wall_seconds;
     cnf_vars = run.C.Flow.cnf_vars;
     cnf_clauses = run.C.Flow.cnf_clauses;
     stats = run.C.Flow.solver_stats;
     certified = run.C.Flow.certified;
+    attempts;
+    failure;
+    quarantined;
+    backtrace = None;
   }
 
-let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
+let crashed ?attempts ?failure ?backtrace ?(quarantined = false) ~benchmark
+    ~strategy ~width ~wall_seconds msg =
   {
     benchmark;
     strategy;
@@ -70,6 +89,10 @@ let crashed ~benchmark ~strategy ~width ~wall_seconds msg =
     cnf_clauses = 0;
     stats = Sat.Stats.create ();
     certified = None;
+    attempts;
+    failure;
+    backtrace;
+    quarantined;
   }
 
 (* ---------- JSON ---------- *)
@@ -85,6 +108,26 @@ let to_json r =
     | Some b -> [ ("certified", Json.Bool b) ]
     | None -> []
   in
+  (* like "certified", the supervisor keys are absent unless set, so records
+     from single-attempt sweeps stay byte-identical to older ones *)
+  let attempts =
+    match r.attempts with
+    | Some n -> [ ("attempts", Json.Int n) ]
+    | None -> []
+  in
+  let failure =
+    match r.failure with
+    | Some f -> [ ("failure", Json.String f) ]
+    | None -> []
+  in
+  let backtrace =
+    match r.backtrace with
+    | Some b -> [ ("backtrace", Json.String b) ]
+    | None -> []
+  in
+  let quarantined =
+    if r.quarantined then [ ("quarantined", Json.Bool true) ] else []
+  in
   Json.Obj
     ([
        ("schema", Json.String schema_version);
@@ -93,7 +136,7 @@ let to_json r =
        ("width", Json.Int r.width);
        ("outcome", Json.String (outcome_name r.outcome));
      ]
-    @ crash @ certified
+    @ crash @ certified @ attempts @ failure @ backtrace @ quarantined
     @ [
         ( "timings",
           Json.Obj
@@ -161,6 +204,7 @@ let of_json json =
       | "routable" -> Ok Routable
       | "unroutable" -> Ok Unroutable
       | "timeout" -> Ok Timeout
+      | "memout" -> Ok Memout
       | "crashed" ->
           let* msg = str json "crash" in
           Ok (Crashed msg)
@@ -171,6 +215,30 @@ let of_json json =
       | None -> Ok None
       | Some (Json.Bool b) -> Ok (Some b)
       | Some _ -> Error "key \"certified\" is not a boolean"
+    in
+    let* attempts =
+      match Json.find json "attempts" with
+      | None -> Ok None
+      | Some (Json.Int n) -> Ok (Some n)
+      | Some _ -> Error "key \"attempts\" is not an integer"
+    in
+    let* failure =
+      match Json.find json "failure" with
+      | None -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error "key \"failure\" is not a string"
+    in
+    let* backtrace =
+      match Json.find json "backtrace" with
+      | None -> Ok None
+      | Some (Json.String s) -> Ok (Some s)
+      | Some _ -> Error "key \"backtrace\" is not a string"
+    in
+    let* quarantined =
+      match Json.find json "quarantined" with
+      | None -> Ok false
+      | Some (Json.Bool b) -> Ok b
+      | Some _ -> Error "key \"quarantined\" is not a boolean"
     in
     let* timings = get json "timings" in
     let* to_graph = num timings "to_graph" in
@@ -210,6 +278,10 @@ let of_json json =
         cnf_clauses;
         stats;
         certified;
+        attempts;
+        failure;
+        backtrace;
+        quarantined;
       }
 
 let to_line r = Json.to_string (to_json r)
@@ -235,9 +307,13 @@ let equal a b =
   && String.equal a.strategy b.strategy
   && a.width = b.width
   && (match (a.outcome, b.outcome) with
-     | Routable, Routable | Unroutable, Unroutable | Timeout, Timeout -> true
+     | Routable, Routable
+     | Unroutable, Unroutable
+     | Timeout, Timeout
+     | Memout, Memout ->
+         true
      | Crashed x, Crashed y -> String.equal x y
-     | (Routable | Unroutable | Timeout | Crashed _), _ -> false)
+     | (Routable | Unroutable | Timeout | Memout | Crashed _), _ -> false)
   && feq a.timings.C.Flow.to_graph b.timings.C.Flow.to_graph
   && feq a.timings.C.Flow.to_cnf b.timings.C.Flow.to_cnf
   && feq a.timings.C.Flow.solving b.timings.C.Flow.solving
@@ -246,3 +322,7 @@ let equal a b =
   && a.cnf_clauses = b.cnf_clauses
   && stats_eq a.stats b.stats
   && Option.equal Bool.equal a.certified b.certified
+  && Option.equal Int.equal a.attempts b.attempts
+  && Option.equal String.equal a.failure b.failure
+  && Option.equal String.equal a.backtrace b.backtrace
+  && Bool.equal a.quarantined b.quarantined

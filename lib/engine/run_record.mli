@@ -13,8 +13,9 @@
     {v
     {"schema":"fpgasat.run/1","benchmark":"alu2",
      "strategy":"ITE-linear-2+muldirect/s1@siege","width":4,
-     "outcome":"routable|unroutable|timeout|crashed","crash":"msg?",
-     "certified":true?,
+     "outcome":"routable|unroutable|timeout|memout|crashed","crash":"msg?",
+     "certified":true?,"attempts":n?,"failure":"tag?","backtrace":"bt?",
+     "quarantined":true?,
      "timings":{"to_graph":s,"to_cnf":s,"solving":s},"wall_seconds":s,
      "cnf":{"vars":n,"clauses":n},
      "solver":{"decisions":n,"propagations":n,"conflicts":n,"restarts":n,
@@ -24,12 +25,21 @@
 
     The ["crash"] key is present exactly when [outcome] is ["crashed"], and
     ["certified"] exactly when the run was certified (sweeps with
-    [--certify]); both are omitted otherwise. *)
+    [--certify]). The supervisor keys are likewise optional: ["attempts"]
+    appears when the sweep ran with retries enabled, ["failure"] carries the
+    {!Failure.name} classification of a non-decisive cell, ["backtrace"] the
+    opt-in crash backtrace, and ["quarantined"] is present (as [true]) only
+    on cells the supervisor gave up on. All are omitted otherwise, so
+    records from older sweeps parse unchanged and single-attempt sweeps emit
+    byte-identical lines. *)
 
 type outcome =
   | Routable
   | Unroutable
   | Timeout
+  | Memout
+      (** The solver crossed its [max_memory_mb] ceiling and stopped
+          cooperatively. *)
   | Crashed of string
       (** The cell's thunk raised; the payload is the exception text. A
           crashed cell never aborts the sweep it belongs to. *)
@@ -47,6 +57,19 @@ type t = {
   certified : bool option;
       (** Mirrors {!Fpgasat_core.Flow.run.certified}: [Some true] iff the
           answer carried an independently checked certificate. *)
+  attempts : int option;
+      (** How many attempts the supervisor spent on this cell; [None] on
+          single-attempt sweeps (the historical behaviour). *)
+  failure : string option;
+      (** {!Failure.name} classification (["timeout"], ["memout"],
+          ["crash:<exn-class>"]) of the final attempt when it was not
+          decisive; [None] on decisive cells. *)
+  backtrace : string option;
+      (** Raw backtrace of a crash, captured only when the sweep opted in
+          ([Sweep.config.capture_backtrace]). *)
+  quarantined : bool;
+      (** The cell failed every allowed attempt; resume skips it instead of
+          crash-looping. *)
 }
 
 val schema_version : string
@@ -58,9 +81,24 @@ val key : t -> string
     deduplicates on. *)
 
 val of_run :
-  benchmark:string -> wall_seconds:float -> Fpgasat_core.Flow.run -> t
+  ?strategy:string ->
+  ?attempts:int ->
+  ?failure:string ->
+  ?quarantined:bool ->
+  benchmark:string ->
+  wall_seconds:float ->
+  Fpgasat_core.Flow.run ->
+  t
+(** [strategy] overrides the name taken from the run — required for key
+    stability when a fallback preset answered the cell (the record must keep
+    the cell's own strategy or resume would re-run it). [quarantined]
+    defaults to [false]. *)
 
 val crashed :
+  ?attempts:int ->
+  ?failure:string ->
+  ?backtrace:string ->
+  ?quarantined:bool ->
   benchmark:string ->
   strategy:string ->
   width:int ->

@@ -1,11 +1,22 @@
 module Sat = Fpgasat_sat
 module C = Fpgasat_core
 
+type fallback = Primary | Fallback_minisat | Fallback_dpll
+
+let fallback_name = function
+  | Primary -> "primary"
+  | Fallback_minisat -> "minisat"
+  | Fallback_dpll -> "dpll"
+
 type job = {
   benchmark : string;
   strategy : string;
   width : int;
-  run : budget:Sat.Solver.budget -> certify:bool -> C.Flow.run;
+  run :
+    budget:Sat.Solver.budget ->
+    certify:bool ->
+    fallback:fallback ->
+    C.Flow.run;
 }
 
 let cell ~benchmark strategy route ~width =
@@ -14,19 +25,43 @@ let cell ~benchmark strategy route ~width =
     strategy = C.Strategy.name strategy;
     width;
     run =
-      (fun ~budget ~certify ->
-        C.Flow.check_width ~strategy ~budget ~certify route ~width);
+      (fun ~budget ~certify ~fallback ->
+        match fallback with
+        | Primary -> C.Flow.check_width ~strategy ~budget ~certify route ~width
+        | Fallback_minisat ->
+            let strategy =
+              {
+                strategy with
+                C.Strategy.solver = Sat.Solver.minisat_like;
+                solver_name = "minisat";
+              }
+            in
+            C.Flow.check_width ~strategy ~budget ~certify route ~width
+        | Fallback_dpll ->
+            C.Flow.check_width ~strategy ~budget ~certify ~backend:`Dpll route
+              ~width);
   }
 
 type progress = { completed : int; total : int; skipped : int }
 
+type retry = {
+  max_attempts : int;
+  escalation : float;
+  fallback_presets : bool;
+}
+
+let no_retry = { max_attempts = 1; escalation = 2.0; fallback_presets = false }
+
 type config = {
   jobs : int;
   budget_seconds : float option;
+  max_memory_mb : int option;
   poll_every : int;
   out : string option;
   resume : bool;
   certify : bool;
+  retry : retry;
+  capture_backtrace : bool;
   on_progress : (progress -> unit) option;
 }
 
@@ -34,10 +69,13 @@ let default_config =
   {
     jobs = Pool.default_jobs ();
     budget_seconds = None;
+    max_memory_mb = None;
     poll_every = Sat.Solver.default_poll_interval;
     out = None;
     resume = false;
     certify = false;
+    retry = no_retry;
+    capture_backtrace = false;
     on_progress = None;
   }
 
@@ -62,28 +100,177 @@ let load path =
 let job_key (j : job) =
   Run_record.make_key ~benchmark:j.benchmark ~strategy:j.strategy ~width:j.width
 
-(* The per-job budget: the configured wall-clock deadline as an interrupt
-   hook (Sys.time is process CPU time, which accumulates across all worker
-   domains and would shrink every job's budget under parallelism), with the
-   configured poll interval threaded through. *)
-let job_budget config =
+(* ---------- advisory lock ---------- *)
+
+(* One lock file per results path, holding the owner's pid. O_EXCL makes
+   creation the atomic acquire; liveness of the recorded pid distinguishes a
+   concurrent sweep (fail fast — interleaved appends would tear each other's
+   JSON lines) from a stale file left by a kill (silently reclaimed, so
+   kill + --resume keeps working unattended). This intentionally also locks
+   out a second sweep in the same process, which fcntl-style locks cannot
+   do. *)
+let lock_path out = out ^ ".lock"
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true
+
+let acquire_lock path =
+  let lock = lock_path path in
+  let rec attempt tries =
+    match Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
+    | fd ->
+        let pid = string_of_int (Unix.getpid ()) in
+        ignore (Unix.write_substring fd pid 0 (String.length pid));
+        Unix.close fd
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        let holder =
+          try
+            int_of_string_opt
+              (String.trim
+                 (In_channel.with_open_text lock In_channel.input_all))
+          with Sys_error _ -> None
+        in
+        let stale = match holder with None -> true | Some p -> not (pid_alive p) in
+        if stale && tries > 0 then begin
+          (try Sys.remove lock with Sys_error _ -> ());
+          attempt (tries - 1)
+        end
+        else
+          raise
+            (Sys_error
+               (Printf.sprintf
+                  "%s: results file is locked by %s; two sweeps appending to \
+                   the same --out would corrupt it"
+                  lock
+                  (match holder with
+                  | Some p -> Printf.sprintf "running process %d" p
+                  | None -> "another sweep")))
+  in
+  attempt 3
+
+let release_lock path =
+  try Sys.remove (lock_path path) with Sys_error _ -> ()
+
+let with_out_lock config f =
+  match config.out with
+  | None -> f ()
+  | Some path ->
+      acquire_lock path;
+      Fun.protect ~finally:(fun () -> release_lock path) f
+
+(* ---------- per-cell supervision ---------- *)
+
+(* The per-attempt budget: the configured wall-clock deadline as an
+   interrupt hook (Sys.time is process CPU time, which accumulates across
+   all worker domains and would shrink every job's budget under
+   parallelism), the memory ceiling, and the configured poll interval.
+   Retries escalate both limits geometrically. *)
+let job_budget ?(attempt = 1) config =
+  let scale = config.retry.escalation ** float_of_int (attempt - 1) in
   let budget =
     Sat.Solver.with_poll_interval config.poll_every Sat.Solver.no_budget
+  in
+  let budget =
+    match config.max_memory_mb with
+    | None -> budget
+    | Some mb ->
+        Sat.Solver.with_memory_limit
+          (int_of_float (ceil (float_of_int mb *. scale)))
+          budget
   in
   match config.budget_seconds with
   | None -> budget
   | Some seconds ->
-      let deadline = Unix.gettimeofday () +. seconds in
+      let deadline = Unix.gettimeofday () +. (seconds *. scale) in
       Sat.Solver.interruptible (fun () -> Unix.gettimeofday () > deadline) budget
 
+let fallback_for config ~attempt =
+  if (not config.retry.fallback_presets) || attempt <= 1 then Primary
+  else if attempt = 2 then Fallback_minisat
+  else Fallback_dpll
+
+(* Runs one cell to its final record: up to [max_attempts] attempts with
+   escalating budgets (and optionally the preset ladder
+   siege → minisat → dpll), classifying every non-decisive ending through
+   {!Failure}. [wall_seconds] on the record is the total across attempts —
+   what the cell actually cost the sweep. *)
+let supervise config job =
+  let t0 = Unix.gettimeofday () in
+  let max_attempts = max 1 config.retry.max_attempts in
+  let attempts_field n = if max_attempts > 1 then Some n else None in
+  let rec go attempt =
+    let budget = job_budget ~attempt config in
+    let fallback = fallback_for config ~attempt in
+    let result =
+      match job.run ~budget ~certify:config.certify ~fallback with
+      | run -> Ok run
+      | exception e ->
+          let backtrace =
+            if config.capture_backtrace then
+              match Printexc.get_backtrace () with "" -> None | bt -> Some bt
+            else None
+          in
+          Error (Failure.of_exn ?backtrace e)
+    in
+    let classified =
+      match result with
+      | Ok run -> Failure.of_outcome run.C.Flow.outcome
+      | Error f -> Some f
+    in
+    match classified with
+    | None ->
+        let run = Result.get_ok result in
+        Run_record.of_run ~strategy:job.strategy
+          ?attempts:(attempts_field attempt) ~benchmark:job.benchmark
+          ~wall_seconds:(Unix.gettimeofday () -. t0)
+          run
+    | Some _ when attempt < max_attempts -> go (attempt + 1)
+    | Some f -> (
+        (* final attempt still failed: quarantine iff retries were actually
+           allowed — a single-attempt sweep keeps the historical semantics
+           where every failed cell is retried by the next --resume *)
+        let quarantined = max_attempts > 1 in
+        let wall_seconds = Unix.gettimeofday () -. t0 in
+        match result with
+        | Ok run ->
+            Run_record.of_run ~strategy:job.strategy
+              ?attempts:(attempts_field attempt) ~failure:(Failure.name f)
+              ~quarantined ~benchmark:job.benchmark ~wall_seconds run
+        | Error _ ->
+            Run_record.crashed
+              ?attempts:(attempts_field attempt) ~failure:(Failure.name f)
+              ?backtrace:(Failure.backtrace f) ~quarantined
+              ~benchmark:job.benchmark ~strategy:job.strategy ~width:job.width
+              ~wall_seconds (Failure.message f))
+  in
+  go 1
+
+(* Which already-recorded cells does --resume trust? Decisive and
+   quarantined ones always; a plain failure (timeout/memout/crash) is
+   re-run when this sweep is allowed to retry, since that is exactly the
+   case the bigger budgets might now answer. Single-attempt sweeps keep the
+   historical skip-everything-recorded behaviour. *)
+let resume_skips config (r : Run_record.t) =
+  config.retry.max_attempts <= 1
+  || Run_record.decisive r
+  || r.Run_record.quarantined
+
 let run config jobs =
+  with_out_lock config @@ fun () ->
   let total = List.length jobs in
   let known =
     match config.out with
     | Some path when config.resume && Sys.file_exists path ->
         let records, _torn = load path in
         let tbl = Hashtbl.create (List.length records) in
-        List.iter (fun r -> Hashtbl.replace tbl (Run_record.key r) r) records;
+        List.iter
+          (fun r ->
+            if resume_skips config r then
+              Hashtbl.replace tbl (Run_record.key r) r)
+          records;
         tbl
     | _ -> Hashtbl.create 0
   in
@@ -139,29 +326,21 @@ let run config jobs =
         Array.of_list
           (List.map
              (fun job () ->
-               let t0 = Unix.gettimeofday () in
-               let record =
-                 match job.run ~budget:(job_budget config) ~certify:config.certify with
-                 | run ->
-                     Run_record.of_run ~benchmark:job.benchmark
-                       ~wall_seconds:(Unix.gettimeofday () -. t0)
-                       run
-                 | exception e ->
-                     Run_record.crashed ~benchmark:job.benchmark
-                       ~strategy:job.strategy ~width:job.width
-                       ~wall_seconds:(Unix.gettimeofday () -. t0)
-                       (Printexc.to_string e)
-               in
+               let record = supervise config job in
                write record;
                report ();
                record)
              pending)
       in
-      let results = Pool.map ~jobs:config.jobs thunks in
-      (* A worker can only yield Error if the results file write raised —
-         surface that instead of fabricating a record. *)
+      let results =
+        Pool.map ~jobs:config.jobs
+          ~record_backtrace:config.capture_backtrace thunks
+      in
+      (* [supervise] catches everything the cell raises, so a worker can
+         only yield Error if the results file write raised — surface that
+         instead of fabricating a record. *)
       Array.iter
-        (function Ok _ -> () | Error m -> raise (Sys_error m))
+        (function Ok _ -> () | Error e -> raise (Sys_error e.Pool.message))
         results;
       let pending = Array.of_list pending in
       let fresh = Hashtbl.create (Array.length results) in
@@ -197,6 +376,7 @@ let dedup xs =
 let cell_text (r : Run_record.t) =
   match r.Run_record.outcome with
   | Run_record.Timeout -> "T/O"
+  | Run_record.Memout -> "M/O"
   | Run_record.Crashed _ -> "crash"
   | Run_record.Routable | Run_record.Unroutable ->
       C.Report.format_seconds (Run_record.total_seconds r)
@@ -231,6 +411,16 @@ let summary records =
            match r.Run_record.outcome with
            | Run_record.Crashed _ -> true
            | _ -> false))
+  in
+  let memouts = count (fun r -> r.Run_record.outcome = Run_record.Memout) in
+  let base =
+    if memouts = 0 then base
+    else Printf.sprintf "%s, %d memout" base memouts
+  in
+  let quarantined = count (fun r -> r.Run_record.quarantined) in
+  let base =
+    if quarantined = 0 then base
+    else Printf.sprintf "%s, %d quarantined" base quarantined
   in
   let attempted = count (fun r -> r.Run_record.certified <> None) in
   if attempted = 0 then base

@@ -265,5 +265,6 @@ let solve ?config ?budget cnf =
       | Solver.Sat model -> Solver.Sat (extend_model r model)
       | Solver.Unsat -> Solver.Unsat
       | Solver.Unknown -> Solver.Unknown
+      | Solver.Memout -> Solver.Memout
     in
     (result, r.stats, solver_stats)

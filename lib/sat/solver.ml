@@ -34,6 +34,7 @@ let default = minisat_like
 type budget = {
   max_conflicts : int option;
   max_seconds : float option;
+  max_memory_mb : int option;
   interrupt : (unit -> bool) option;
   poll_every : int;
 }
@@ -44,16 +45,28 @@ let no_budget =
   {
     max_conflicts = None;
     max_seconds = None;
+    max_memory_mb = None;
     interrupt = None;
     poll_every = default_poll_interval;
   }
 
 let conflict_budget n = { no_budget with max_conflicts = Some n }
 let time_budget s = { no_budget with max_seconds = Some s }
+let memory_budget mb = { no_budget with max_memory_mb = Some mb }
 let interruptible f budget = { budget with interrupt = Some f }
 let with_poll_interval n budget = { budget with poll_every = max 1 n }
+let with_memory_limit mb budget = { budget with max_memory_mb = Some mb }
 
-type result = Sat of bool array | Unsat | Unknown
+(* [Gc.quick_stat] reads the major-heap size without walking the heap, so it
+   is cheap enough for the conflict-poll loop. In OCaml 5 the major heap is
+   shared by all domains: the bound is on the whole process image, which is
+   exactly what an unattended sweep needs to survive an exploding clause
+   database without the OOM killer taking down its sibling domains. *)
+let heap_megabytes () =
+  let words = (Gc.quick_stat ()).Gc.heap_words in
+  float_of_int words *. float_of_int (Sys.word_size / 8) /. (1024. *. 1024.)
+
+type result = Sat of bool array | Unsat | Unknown | Memout
 
 (* Deterministic xorshift64 RNG so runs are reproducible across machines. *)
 module Rng = struct
@@ -404,6 +417,7 @@ let extract_model st =
 exception Found_unsat
 exception Assumption_failed
 exception Out_of_budget
+exception Out_of_memory_budget
 
 (* Load the problem clauses into a fresh state; level-0 units go straight
    onto the trail, and [st.ok] turns false on an immediate conflict. Clause
@@ -467,6 +481,7 @@ type query_result =
   | Q_sat of bool array
   | Q_unsat
   | Q_unknown
+  | Q_memout
 
 let create ?(config = default) ?proof cnf =
   let st = create config (Cnf.num_vars cnf) proof in
@@ -493,16 +508,26 @@ let run_search s budget assumptions =
   let start_conflicts = st.stats.Stats.conflicts in
   let conflicts_at_restart = ref 0 in
   let poll_every = max 1 budget.poll_every in
+  let at_poll_point () = st.stats.Stats.conflicts mod poll_every = 0 in
+  let over_memory () =
+    match budget.max_memory_mb with
+    | Some mb when at_poll_point () -> heap_megabytes () > float_of_int mb
+    | Some _ | None -> false
+  in
   let over_budget () =
     (match budget.max_conflicts with
     | Some m when st.stats.Stats.conflicts - start_conflicts >= m -> true
     | Some _ | None -> false)
     || (match budget.max_seconds with
-       | Some sec when st.stats.Stats.conflicts mod poll_every = 0 ->
+       | Some sec when at_poll_point () ->
            Unix.gettimeofday () -. start_time > sec
        | Some _ | None -> false)
     || match budget.interrupt with
-       | Some f when st.stats.Stats.conflicts mod poll_every = 0 -> f ()
+       | Some f when at_poll_point () ->
+           (* a hook that raises is treated as an interrupt that fired: the
+              cell ends as [Q_unknown] (classifiable by the supervisor)
+              instead of crashing with a foreign exception *)
+           (try f () with _ -> true)
        | Some _ | None -> false
   in
   let result = ref Q_unknown in
@@ -538,6 +563,7 @@ let run_search s budget assumptions =
            st.stats.Stats.learnt_clauses <- st.stats.Stats.learnt_clauses + 1;
            var_decay_tick st;
            cla_decay_tick st;
+           if over_memory () then raise Out_of_memory_budget;
            if over_budget () then raise Out_of_budget
        | None ->
            if !conflicts_at_restart >= restart_limit st s.restart_count then begin
@@ -583,7 +609,8 @@ let run_search s budget assumptions =
       st.ok <- false;
       result := Q_unsat
   | Assumption_failed -> result := Q_unsat
-  | Out_of_budget -> result := Q_unknown);
+  | Out_of_budget -> result := Q_unknown
+  | Out_of_memory_budget -> result := Q_memout);
   cancel_until st 0;
   !result
 
@@ -597,6 +624,7 @@ let solve ?(config = default) ?(budget = no_budget) ?proof cnf =
     | Q_sat model -> Sat model
     | Q_unsat -> Unsat
     | Q_unknown -> Unknown
+    | Q_memout -> Memout
   in
   (result, s.st.stats)
 

@@ -36,10 +36,20 @@ val restart_limit_of_config : config -> int -> int
 type budget = {
   max_conflicts : int option;
   max_seconds : float option;
+  max_memory_mb : int option;
+      (** Process-heap ceiling in megabytes, measured from
+          [Gc.quick_stat ()] heap words at the same [poll_every] granularity
+          as the other limits. Crossing it aborts the search cooperatively
+          with {!Memout} instead of letting the runtime OOM. OCaml 5 domains
+          share one major heap, so this bounds the whole process image —
+          which is exactly what an unattended multi-domain sweep needs: one
+          exploding clause database cannot take down sibling workers. *)
   interrupt : (unit -> bool) option;
       (** Polled periodically; returning [true] aborts the search with
           [Unknown]. Used by portfolios and the experiment engine to cancel
-          losing or over-deadline runs. *)
+          losing or over-deadline runs. An exception raised by the hook is
+          treated as the interrupt having fired (the search still ends as
+          [Unknown]); it never escapes as a crash. *)
   poll_every : int;
       (** Poll granularity, in conflicts: [max_seconds] and [interrupt] are
           only checked when the episode's conflict count is a multiple of
@@ -63,12 +73,20 @@ val with_poll_interval : int -> budget -> budget
 (** Overrides {!field-budget.poll_every}; values below 1 are clamped to 1
     (poll at every conflict). *)
 
+val memory_budget : int -> budget
+(** [memory_budget mb] is {!no_budget} with a [max_memory_mb] ceiling. *)
+
+val with_memory_limit : int -> budget -> budget
+(** Adds a [max_memory_mb] ceiling to an existing budget. *)
+
 type result =
   | Sat of bool array
       (** A satisfying assignment, indexed by variable; total over all
           allocated variables. *)
   | Unsat
-  | Unknown  (** Budget exhausted. *)
+  | Unknown  (** Conflict, time, or interrupt budget exhausted. *)
+  | Memout  (** [max_memory_mb] ceiling crossed; the search stopped
+                cooperatively. *)
 
 val solve :
   ?config:config -> ?budget:budget -> ?proof:Proof.t -> Cnf.t -> result * Stats.t
@@ -92,6 +110,7 @@ type query_result =
   | Q_sat of bool array
   | Q_unsat  (** Unsatisfiable together with the given assumptions. *)
   | Q_unknown
+  | Q_memout  (** As {!Memout}, per query. *)
 
 val solve_with :
   ?budget:budget -> ?assumptions:Lit.t list -> solver -> query_result

@@ -40,7 +40,7 @@ let check_cell ~route ~graph ~strategy ~width =
   let run = Flow.check_width ~strategy ~certify:true route ~width in
   let enc = encode strategy graph ~width in
   (match run.Flow.outcome with
-  | Flow.Timeout -> ()
+  | Flow.Timeout | Flow.Memout -> ()
   | Flow.Routable d ->
       Alcotest.(check (option bool)) (ctx ^ ": routable certified") (Some true)
         run.Flow.certified;
@@ -76,7 +76,7 @@ let check_cell ~route ~graph ~strategy ~width =
           | Error e ->
               Alcotest.fail
                 (Format.asprintf "%s: proof rejected: %a" ctx Drat.pp_error e))
-      | (Sat.Solver.Sat _ | Sat.Solver.Unknown), _ ->
+      | (Sat.Solver.Sat _ | Sat.Solver.Unknown | Sat.Solver.Memout), _ ->
           Alcotest.fail (ctx ^ ": re-solve disagrees with unroutable"));
       (match dpll_answer enc.E.Csp_encode.cnf with
       | Sat.Dpll.Sat _ -> Alcotest.fail (ctx ^ ": dpll disagrees (sat)")
@@ -102,7 +102,7 @@ let test_registry_differential () =
         (fun width ->
           match check_cell ~route ~graph ~strategy ~width with
           | Flow.Routable _ | Flow.Unroutable -> incr decisive
-          | Flow.Timeout -> ())
+          | Flow.Timeout | Flow.Memout -> ())
         widths)
     E.Registry.all;
   Alcotest.(check bool) "most cells decisive" true (!decisive > 20)

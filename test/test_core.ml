@@ -70,7 +70,7 @@ let test_flow_routable_at_upper_bound () =
         (F.Netlist.num_subnets small_route.F.Global_route.netlist)
         (Array.length detailed.F.Detailed_route.tracks)
   | Flow.Unroutable -> Alcotest.fail "DSATUR width must be routable"
-  | Flow.Timeout -> Alcotest.fail "no budget was set"
+  | Flow.Timeout | Flow.Memout -> Alcotest.fail "no budget was set"
 
 let test_flow_unroutable_at_one () =
   if G.Graph.num_edges small_graph > 0 then begin
@@ -82,7 +82,8 @@ let test_flow_unroutable_at_one () =
             Alcotest.(check bool) "refutation trace" true
               (Sat.Proof.ends_with_empty proof)
         | None -> Alcotest.fail "proof requested but missing")
-    | Flow.Routable _ | Flow.Timeout -> Alcotest.fail "width 1 must be unroutable"
+    | Flow.Routable _ | Flow.Timeout | Flow.Memout ->
+        Alcotest.fail "width 1 must be unroutable"
   end
 
 let test_flow_all_encodings_agree () =
@@ -97,7 +98,7 @@ let test_flow_all_encodings_agree () =
         match run.Flow.outcome with
         | Flow.Routable _ -> true
         | Flow.Unroutable -> false
-        | Flow.Timeout -> Alcotest.fail "unexpected timeout")
+        | Flow.Timeout | Flow.Memout -> Alcotest.fail "unexpected timeout")
       E.Registry.all
   in
   match verdicts with
@@ -119,7 +120,7 @@ let test_flow_budget_timeout () =
       ~width:(inst.F.Benchmarks.max_congestion - 1)
   in
   match run.Flow.outcome with
-  | Flow.Timeout -> ()
+  | Flow.Timeout | Flow.Memout -> ()
   | Flow.Routable _ | Flow.Unroutable ->
       Alcotest.fail "10 conflicts cannot decide C1355"
 
@@ -134,7 +135,7 @@ let test_color_graph_matches_check_width () =
       Alcotest.(check bool) "proper" true
         (G.Coloring.is_proper small_graph ~k:small_ub coloring)
   | `Uncolorable -> Alcotest.fail "upper bound must be colourable"
-  | `Timeout -> Alcotest.fail "no budget");
+  | `Timeout | `Memout -> Alcotest.fail "no budget");
   ()
 
 (* --- binary search --- *)
@@ -154,7 +155,8 @@ let test_binary_search_minimal () =
           Alcotest.(check int) "refuted width" (w - 1) run.Flow.width;
           match run.Flow.outcome with
           | Flow.Unroutable -> ()
-          | Flow.Routable _ | Flow.Timeout -> Alcotest.fail "not a refutation")
+          | Flow.Routable _ | Flow.Timeout | Flow.Memout ->
+              Alcotest.fail "not a refutation")
       | None ->
           Alcotest.(check bool) "structural bound" true
             (G.Clique.lower_bound small_graph >= w));
@@ -164,7 +166,7 @@ let test_binary_search_minimal () =
         match direct.Flow.outcome with
         | Flow.Unroutable -> ()
         | Flow.Routable _ -> Alcotest.fail "w_min - 1 was routable"
-        | Flow.Timeout -> Alcotest.fail "unexpected timeout"
+        | Flow.Timeout | Flow.Memout -> Alcotest.fail "unexpected timeout"
 
 let test_binary_search_budget_error () =
   let spec = Option.get (F.Benchmarks.find "C1355") in
@@ -221,19 +223,21 @@ let test_solver_assumptions_basic () =
   | Sat.Solver.Q_sat model ->
       Alcotest.(check bool) "x1 true" true model.(1);
       Alcotest.(check bool) "x0 false" false model.(0)
-  | Sat.Solver.Q_unsat | Sat.Solver.Q_unknown -> Alcotest.fail "satisfiable");
+  | Sat.Solver.Q_unsat | Sat.Solver.Q_unknown | Sat.Solver.Q_memout ->
+      Alcotest.fail "satisfiable");
   (match
      Sat.Solver.solve_with
        ~assumptions:[ Sat.Lit.neg_of 0; Sat.Lit.neg_of 1 ]
        solver
    with
   | Sat.Solver.Q_unsat -> ()
-  | Sat.Solver.Q_sat _ | Sat.Solver.Q_unknown ->
+  | Sat.Solver.Q_sat _ | Sat.Solver.Q_unknown | Sat.Solver.Q_memout ->
       Alcotest.fail "unsat under assumptions");
   (* the solver is reusable after an assumption failure *)
   match Sat.Solver.solve_with solver with
   | Sat.Solver.Q_sat _ -> ()
-  | Sat.Solver.Q_unsat | Sat.Solver.Q_unknown -> Alcotest.fail "still satisfiable"
+  | Sat.Solver.Q_unsat | Sat.Solver.Q_unknown | Sat.Solver.Q_memout ->
+      Alcotest.fail "still satisfiable"
 
 (* --- report --- *)
 (* portfolio tests live in test_engine.ml, next to the engine the

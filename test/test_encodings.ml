@@ -431,7 +431,7 @@ let check_encoding_on e ?symmetry (n, k, edges) =
       let coloring = E.Csp_encode.decode encoded model in
       G.Coloring.is_proper g ~k coloring
   | Sat.Solver.Unsat -> not expected
-  | Sat.Solver.Unknown -> false
+  | Sat.Solver.Unknown | Sat.Solver.Memout -> false
 
 (* --- mixed bottoms (Sect. 4 generality) --- *)
 
@@ -509,7 +509,7 @@ let prop_mixed_agrees_with_brute_force =
           in
           G.Coloring.is_proper g ~k coloring
       | Sat.Solver.Unsat -> not expected
-      | Sat.Solver.Unknown -> false)
+      | Sat.Solver.Unknown | Sat.Solver.Memout -> false)
   [@@ocamlformat "disable"]
 
 

@@ -121,10 +121,12 @@ let test_pool_order_and_isolation () =
     (fun i r ->
       match r with
       | Ok v -> Alcotest.(check int) "slot keeps input order" (i * i) v
-      | Error m ->
+      | Error e ->
           Alcotest.(check int) "only the raising slot errors" 7 i;
           Alcotest.(check bool) "error text kept" true
-            (String.length m > 0))
+            (String.length e.Pool.message > 0);
+          Alcotest.(check string) "exception class captured" "Failure"
+            e.Pool.exn_class)
     results;
   (match results.(7) with
   | Error _ -> ()
@@ -244,7 +246,7 @@ let test_sweep_crash_isolated () =
       Sweep.benchmark = "small";
       strategy = "crash-strategy";
       width = 2;
-      run = (fun ~budget:_ ~certify:_ -> failwith "deliberate crash");
+      run = (fun ~budget:_ ~certify:_ ~fallback:_ -> failwith "deliberate crash");
     }
   in
   let jobs = [ List.hd (sweep_jobs ()); crash; List.nth (sweep_jobs ()) 1 ] in
@@ -260,7 +262,8 @@ let test_sweep_crash_isolated () =
       Alcotest.(check bool) "neighbours unaffected" true
         (match (List.nth records i).Run_record.outcome with
         | Run_record.Routable | Run_record.Unroutable -> true
-        | Run_record.Timeout | Run_record.Crashed _ -> false))
+        | Run_record.Timeout | Run_record.Memout | Run_record.Crashed _ ->
+            false))
     [ 0; 2 ]
 
 let with_temp_file f =
@@ -273,9 +276,9 @@ let counting_jobs counter =
       {
         j with
         Sweep.run =
-          (fun ~budget ~certify ->
+          (fun ~budget ~certify ~fallback ->
             Atomic.incr counter;
-            j.Sweep.run ~budget ~certify);
+            j.Sweep.run ~budget ~certify ~fallback);
       })
     (sweep_jobs ())
 
@@ -343,7 +346,7 @@ let test_sweep_budget_times_out () =
       strategy = "spin";
       width = 1;
       run =
-        (fun ~budget ~certify:_ ->
+        (fun ~budget ~certify:_ ~fallback:_ ->
           (match budget.Sat.Solver.interrupt with
           | Some f ->
               (* deadline is wall-clock: poll until it passes *)
@@ -384,7 +387,7 @@ let test_sweep_certify_records_certified () =
           Alcotest.(check (option bool))
             ("certified " ^ Run_record.key r)
             (Some true) r.Run_record.certified
-      | Run_record.Timeout | Run_record.Crashed _ ->
+      | Run_record.Timeout | Run_record.Memout | Run_record.Crashed _ ->
           Alcotest.(check (option bool)) "indecisive cells carry no flag" None
             r.Run_record.certified)
     records;
@@ -557,7 +560,7 @@ let test_portfolio_members_agree () =
         match m.P.run.Flow.outcome with
         | Flow.Routable _ -> Some true
         | Flow.Unroutable -> Some false
-        | Flow.Timeout -> None)
+        | Flow.Timeout | Flow.Memout -> None)
       p.P.members
   in
   match verdicts with
@@ -576,7 +579,8 @@ let test_portfolio_parallel () =
           Alcotest.(check bool) "verified routing" true
             (Array.length d.F.Detailed_route.tracks > 0)
       | Flow.Unroutable -> ()
-      | Flow.Timeout -> Alcotest.fail "winner cannot be a timeout")
+      | Flow.Timeout | Flow.Memout ->
+          Alcotest.fail "winner cannot be a timeout")
 
 let test_portfolio_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Portfolio.run: empty")

@@ -53,7 +53,7 @@ let test_full_flow_on_alu2 () =
       (match run.Flow.outcome with
       | Flow.Unroutable -> ()
       | Flow.Routable _ -> Alcotest.fail "log found a routing below w_min"
-      | Flow.Timeout -> Alcotest.fail "log timed out on alu2")
+      | Flow.Timeout | Flow.Memout -> Alcotest.fail "log timed out on alu2")
 
 let test_unsat_instance_has_drat_trace () =
   match C.Binary_search.minimal_width ~budget too_large.F.Benchmarks.route with
@@ -96,7 +96,7 @@ let test_interchange_formats () =
   let tag = function
     | Sat.Solver.Sat _ -> "sat"
     | Sat.Solver.Unsat -> "unsat"
-    | Sat.Solver.Unknown -> "unknown"
+    | Sat.Solver.Unknown | Sat.Solver.Memout -> "unknown"
   in
   Alcotest.(check string) "same verdict" (tag v1) (tag v2)
 
@@ -121,7 +121,8 @@ let test_strategies_consistent_on_alu2 () =
           (match sat_run.Flow.outcome with
           | Flow.Routable _ -> ()
           | Flow.Unroutable -> Alcotest.fail (sname ^ ": w_min unroutable?")
-          | Flow.Timeout -> Alcotest.fail (sname ^ ": timeout at w_min"));
+          | Flow.Timeout | Flow.Memout ->
+              Alcotest.fail (sname ^ ": timeout at w_min"));
           let unsat_run =
             Flow.check_width ~strategy:(strategy sname) ~budget
               alu2.F.Benchmarks.route ~width:(w - 1)
@@ -129,7 +130,8 @@ let test_strategies_consistent_on_alu2 () =
           match unsat_run.Flow.outcome with
           | Flow.Unroutable -> ()
           | Flow.Routable _ -> Alcotest.fail (sname ^ ": found impossible routing")
-          | Flow.Timeout -> Alcotest.fail (sname ^ ": timeout below w_min"))
+          | Flow.Timeout | Flow.Memout ->
+              Alcotest.fail (sname ^ ": timeout below w_min"))
         strategies
 
 let test_portfolio_on_benchmark () =
@@ -216,7 +218,7 @@ let test_serial_roundtrip_preserves_verdict () =
     match r.Flow.outcome with
     | Flow.Routable _ -> "routable"
     | Flow.Unroutable -> "unroutable"
-    | Flow.Timeout -> "timeout"
+    | Flow.Timeout | Flow.Memout -> "timeout"
   in
   Alcotest.(check string) "same verdict" (tag direct) (tag via_files)
 

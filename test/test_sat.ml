@@ -46,7 +46,8 @@ let brute_force cnf =
 let solver_result_is_sat = function
   | Solver.Sat _ -> true
   | Solver.Unsat -> false
-  | Solver.Unknown -> Alcotest.fail "solver returned Unknown without budget"
+  | Solver.Unknown | Solver.Memout ->
+      Alcotest.fail "solver returned Unknown without budget"
 
 (* --- literal representation --- *)
 
@@ -298,7 +299,7 @@ let test_solver_php_sat () =
 let test_solver_budget_unknown () =
   let cnf = php 9 8 in
   match Solver.solve ~budget:(Solver.conflict_budget 5) cnf with
-  | Solver.Unknown, stats ->
+  | (Solver.Unknown | Solver.Memout), stats ->
       Alcotest.(check bool) "few conflicts" true (stats.Fpgasat_sat.Stats.conflicts <= 6)
   | Solver.Unsat, _ -> Alcotest.fail "budget of 5 conflicts cannot refute PHP 9/8"
   | Solver.Sat _, _ -> Alcotest.fail "PHP 9/8 is not SAT"
@@ -402,7 +403,7 @@ let prop_cdcl_models_check =
       match Solver.solve cnf with
       | Solver.Sat m, _ -> Solver.check_model cnf m
       | Solver.Unsat, _ -> true
-      | Solver.Unknown, _ -> false)
+      | (Solver.Unknown | Solver.Memout), _ -> false)
 
 let prop_cdcl_matches_dpll =
   QCheck2.Test.make ~count:500 ~name:"CDCL agrees with DPLL" gen_random_cnf
@@ -429,7 +430,7 @@ let prop_unsat_proofs_end_empty =
       let proof = Proof.create () in
       match Solver.solve ~proof cnf with
       | Solver.Unsat, _ -> Proof.ends_with_empty proof
-      | Solver.Sat _, _ | Solver.Unknown, _ -> true)
+      | Solver.Sat _, _ | (Solver.Unknown | Solver.Memout), _ -> true)
 
 let lit_lists cnf =
   List.init (Cnf.num_clauses cnf) (fun i -> Cnf.view_to_list (Cnf.get_clause cnf i))

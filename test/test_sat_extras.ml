@@ -168,7 +168,7 @@ let prop_drat_checks_solver_proofs =
       let proof = Proof.create () in
       match Solver.solve ~proof cnf with
       | Solver.Unsat, _ -> Result.is_ok (Drat.check cnf proof)
-      | (Solver.Sat _ | Solver.Unknown), _ -> true)
+      | (Solver.Sat _ | Solver.Unknown | Solver.Memout), _ -> true)
 
 let prop_drat_agrees_with_reference =
   QCheck2.Test.make ~count:300
@@ -180,7 +180,7 @@ let prop_drat_agrees_with_reference =
       | Solver.Unsat, _ ->
           Result.is_ok (Drat.check cnf proof)
           = Result.is_ok (Drat.check_reference cnf proof)
-      | (Solver.Sat _ | Solver.Unknown), _ -> true)
+      | (Solver.Sat _ | Solver.Unknown | Solver.Memout), _ -> true)
 
 let test_proof_parse_roundtrip () =
   let proof = Proof.create () in
@@ -263,7 +263,7 @@ let prop_simplify_preserves_answer =
       match result with
       | Solver.Sat model -> expected && Solver.check_model cnf model
       | Solver.Unsat -> not expected
-      | Solver.Unknown -> false)
+      | Solver.Unknown | Solver.Memout -> false)
 
 let prop_simplify_models_extend =
   QCheck2.Test.make ~count:500 ~name:"extended models satisfy the original"
@@ -275,7 +275,7 @@ let prop_simplify_models_extend =
         match Solver.solve r.Simplify.cnf with
         | Solver.Sat m, _ -> Solver.check_model cnf (Simplify.extend_model r m)
         | Solver.Unsat, _ -> not (brute_force cnf)
-        | Solver.Unknown, _ -> false)
+        | (Solver.Unknown | Solver.Memout), _ -> false)
 
 let prop_simplify_never_grows =
   QCheck2.Test.make ~count:300 ~name:"preprocessing never adds clauses"
