@@ -42,6 +42,7 @@ module E = Fpgasat_encodings
 module F = Fpgasat_fpga
 module C = Fpgasat_core
 module Eng = Fpgasat_engine
+module Obs = Fpgasat_obs
 module Flow = C.Flow
 module Strategy = C.Strategy
 module Report = C.Report
@@ -59,11 +60,16 @@ let resume = ref false
 let certify = ref false
 let chaos = ref false
 let chaos_seed = ref 2008
+let bench_out = ref ""
+let baseline_file = ref ""
+let gate = ref 0.
+let perf_handicap = ref 0
 
 let usage =
   "main.exe [--budget SEC] [--sections a,b,c] [--jobs N] [--out FILE.jsonl] \
    [--resume] [--certify] [--chaos] [--chaos-seed N] [--bechamel] \
-   [--encode-bench]"
+   [--encode-bench] [--bench-out FILE.json] [--baseline FILE.json] \
+   [--gate RATIO] [--perf-handicap N]"
 
 let arg_spec =
   [
@@ -91,6 +97,22 @@ let arg_spec =
     ( "--encode-bench",
       Arg.Set encode_bench_only,
       " print encode+load throughput JSON for the largest configuration and exit" );
+    ( "--bench-out",
+      Arg.Set_string bench_out,
+      "FILE run the perf-gate matrix (encode throughput + fixed solver \
+       cells) and write it as fpgasat.bench/1 JSON" );
+    ( "--baseline",
+      Arg.Set_string baseline_file,
+      "FILE compare the perf-gate matrix against this baseline and exit \
+       non-zero on regression" );
+    ( "--gate",
+      Arg.Set_float gate,
+      "RATIO regression tolerance for --baseline: fail when a section's \
+       geometric-mean slowdown exceeds it (default 1.25)" );
+    ( "--perf-handicap",
+      Arg.Set_int perf_handicap,
+      "N deliberately slow every solve by N spin iterations per conflict \
+       (poll_every 1) — for verifying that the perf gate actually fails" );
   ]
 
 let sweep_config () =
@@ -1145,11 +1167,11 @@ let section_chaos () =
             {
               j with
               Sweep.run =
-                (fun ~budget ~certify ~fallback ->
+                (fun ~budget ~certify ~telemetry ~fallback ->
                   (* one mark per cell, not per attempt *)
                   Hashtbl.replace reran
                     (j.Sweep.benchmark, j.Sweep.strategy, j.Sweep.width) ();
-                  j.Sweep.run ~budget ~certify ~fallback);
+                  j.Sweep.run ~budget ~certify ~telemetry ~fallback);
             })
           cells
       in
@@ -1167,7 +1189,16 @@ let section_chaos () =
 (* Single-line JSON for BENCH_encode.json trajectory tracking: wall time to
    emit the CNF into the arena, wall time to load it into the CDCL solver,
    and words allocated across one encode+load pass. *)
-let section_encode_bench () =
+type encode_measurements = {
+  em_vars : int;
+  em_clauses : int;
+  em_lits : int;
+  em_encode_s : float;
+  em_load_s : float;
+  em_words_alloc : int;
+}
+
+let measure_encode () =
   let spec = Option.get (F.Benchmarks.find "vda") in
   let inst = F.Benchmarks.build spec in
   let graph = inst.F.Benchmarks.graph in
@@ -1194,23 +1225,132 @@ let section_encode_bench () =
   let solver = Sat.Solver.create encoded'.E.Csp_encode.cnf in
   let bytes1 = Gc.allocated_bytes () in
   ignore (Sat.Solver.solver_stats solver);
-  let words_alloc = int_of_float ((bytes1 -. bytes0) /. 8.) in
+  {
+    em_vars = Sat.Cnf.num_vars cnf;
+    em_clauses = Sat.Cnf.num_clauses cnf;
+    em_lits = Sat.Cnf.num_lits cnf;
+    em_encode_s = encode_s;
+    em_load_s = load_s;
+    em_words_alloc = int_of_float ((bytes1 -. bytes0) /. 8.);
+  }
+
+let section_encode_bench () =
+  let m = measure_encode () in
   print_endline
     (Eng.Json.to_string
        (Eng.Json.Obj
           [
-            ("vars", Eng.Json.Int (Sat.Cnf.num_vars cnf));
-            ("clauses", Eng.Json.Int (Sat.Cnf.num_clauses cnf));
-            ("lits", Eng.Json.Int (Sat.Cnf.num_lits cnf));
-            ("encode_s", Eng.Json.Float encode_s);
-            ("load_s", Eng.Json.Float load_s);
-            ("words_alloc", Eng.Json.Int words_alloc);
+            ("vars", Eng.Json.Int m.em_vars);
+            ("clauses", Eng.Json.Int m.em_clauses);
+            ("lits", Eng.Json.Int m.em_lits);
+            ("encode_s", Eng.Json.Float m.em_encode_s);
+            ("load_s", Eng.Json.Float m.em_load_s);
+            ("words_alloc", Eng.Json.Int m.em_words_alloc);
           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Perf gate: a small fixed matrix against a committed baseline         *)
+
+(* [--perf-handicap N] exists to prove the gate has teeth: it makes every
+   conflict pay N spin iterations through an interrupt hook polled at every
+   conflict, a deliberate slowdown a healthy run never shows. *)
+let handicap_budget budget =
+  if !perf_handicap <= 0 then budget
+  else begin
+    let n = !perf_handicap in
+    let hook () =
+      let acc = ref 0 in
+      for i = 1 to n do
+        acc := !acc + i
+      done;
+      ignore (Sys.opaque_identity !acc);
+      false
+    in
+    Sat.Solver.with_poll_interval 1 (Sat.Solver.interruptible hook budget)
+  end
+
+(* The solve half of the matrix: two benchmarks small enough to finish in
+   seconds yet conflict-heavy enough to exercise the search, each at
+   w_min-1 (UNSAT) and w_min+1 (easy SAT). Keys are relative to w_min, so
+   the baseline stays valid even if a solver change moves w_min itself.
+   Best of two runs, to shave scheduler noise. *)
+let perf_solve_cells () =
+  List.concat_map
+    (fun bench ->
+      let spec = Option.get (F.Benchmarks.find bench) in
+      let inst = F.Benchmarks.build spec in
+      let route = inst.F.Benchmarks.route in
+      let w_min =
+        match
+          C.Binary_search.minimal_width ~strategy:Strategy.best_single
+            ~budget:(Sat.Solver.time_budget (4. *. !budget_seconds))
+            route
+        with
+        | Ok r -> r.C.Binary_search.w_min
+        | Error m -> failwith (Printf.sprintf "perf-gate: %s: %s" bench m)
+      in
+      List.map
+        (fun (tag, delta) ->
+          let width = max 1 (w_min + delta) in
+          let once () =
+            let budget =
+              handicap_budget (Sat.Solver.time_budget !budget_seconds)
+            in
+            let run =
+              Flow.check_width ~strategy:Strategy.best_single ~budget route
+                ~width
+            in
+            match run.Flow.outcome with
+            | Flow.Timeout | Flow.Memout -> !budget_seconds
+            | Flow.Routable _ | Flow.Unroutable -> Flow.total run.Flow.timings
+          in
+          let seconds = Float.min (once ()) (once ()) in
+          (Printf.sprintf "%s|%s" bench tag, seconds))
+        [ ("wmin-1", -1); ("wmin+1", 1) ])
+    [ "alu2"; "too_large" ]
+
+let section_perf_gate () =
+  let m = measure_encode () in
+  let encode_cells =
+    [
+      ("vda/encode_s", m.em_encode_s);
+      ("vda/load_s", m.em_load_s);
+      ("vda/words_alloc", float_of_int m.em_words_alloc);
+    ]
+  in
+  Printf.eprintf "perf-gate: encode section done\n%!";
+  let solve_cells = perf_solve_cells () in
+  Printf.eprintf "perf-gate: solve section done\n%!";
+  let current =
+    Obs.Baseline.make [ ("encode", encode_cells); ("solve", solve_cells) ]
+  in
+  if !bench_out <> "" then begin
+    Obs.Baseline.to_file !bench_out current;
+    Printf.printf "perf-gate: wrote %s\n" !bench_out
+  end;
+  match !baseline_file with
+  | "" -> ()
+  | path -> (
+      match Obs.Baseline.of_file path with
+      | Error m ->
+          prerr_endline (Printf.sprintf "perf-gate: %s: %s" path m);
+          exit 2
+      | Ok baseline ->
+          let tolerance =
+            if !gate > 0. then !gate else Obs.Baseline.default_tolerance
+          in
+          let report = Obs.Baseline.compare ~tolerance ~baseline ~current () in
+          print_endline (Obs.Baseline.render report);
+          if not report.Obs.Baseline.ok then exit 1)
 
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   if !encode_bench_only then begin
     section_encode_bench ();
+    exit 0
+  end;
+  if !bench_out <> "" || !baseline_file <> "" then begin
+    section_perf_gate ();
     exit 0
   end;
   let t0 = Unix.gettimeofday () in

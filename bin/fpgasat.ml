@@ -17,6 +17,7 @@ module F = Fpgasat_fpga
 module C = Fpgasat_core
 module Bdd = Fpgasat_bdd
 module Eng = Fpgasat_engine
+module Obs = Fpgasat_obs
 open Cmdliner
 
 (* ---------- converters and shared arguments ---------- *)
@@ -213,13 +214,30 @@ let route_cmd =
              ~doc:"Print the run as one machine-readable JSON line (the \
                    sweep record schema) instead of the human report.")
   in
-  let run spec width strat budget proof_file tracks json =
+  let profile_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Trace the run (solve span + solver events) and write it \
+                   as Chrome trace_event JSON, loadable in \
+                   chrome://tracing or Perfetto.")
+  in
+  let run spec width strat budget proof_file tracks json profile =
     let inst = build_instance spec in
+    let trace = Option.map (fun _ -> Obs.Trace.create ()) profile in
     let t0 = Unix.gettimeofday () in
     let run =
       C.Flow.check_width ~strategy:strat ~budget:(budget_of budget)
-        ~want_proof:(proof_file <> None) inst.F.Benchmarks.route ~width
+        ~want_proof:(proof_file <> None)
+        ~telemetry:(profile <> None) ?trace inst.F.Benchmarks.route ~width
     in
+    (match (profile, trace) with
+    | Some path, Some tr ->
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Obs.Trace.to_chrome tr));
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "trace written to %s\n" path
+    | _ -> ());
     (* independent of output mode: --proof must write the file on UNSAT *)
     let write_proof () =
       match (run.C.Flow.outcome, proof_file, run.C.Flow.proof) with
@@ -277,7 +295,7 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Decide detailed routability at a given width.")
     Term.(ret (const run $ benchmark_pos $ width_arg $ strategy_arg $ budget_arg
-               $ proof_arg $ tracks_arg $ json_arg))
+               $ proof_arg $ tracks_arg $ json_arg $ profile_arg))
 
 (* ---------- min-width ---------- *)
 
@@ -457,8 +475,16 @@ let sweep_cmd =
              ~doc:"Record crash backtraces into the $(b,backtrace) record \
                    field.")
   in
+  let telemetry_arg =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Derive per-solve telemetry (propagations/s, conflicts/s, \
+                   LBD histogram, allocation) on every cell; records gain \
+                   the optional $(b,telemetry) key. Summarise with \
+                   $(b,report --telemetry).")
+  in
   let run benchmarks strategies widths jobs budget out resume certify
-      max_memory_mb max_attempts escalation fallback backtrace =
+      max_memory_mb max_attempts escalation fallback backtrace telemetry =
     if resume && out = None then
       `Error (true, "--resume requires --out FILE")
     else begin
@@ -532,6 +558,7 @@ let sweep_cmd =
           out;
           resume;
           certify;
+          telemetry;
           retry =
             {
               Eng.Sweep.max_attempts = max 1 max_attempts;
@@ -578,7 +605,7 @@ let sweep_cmd =
     Term.(ret (const run $ benchmarks_arg $ strategies_arg $ widths_arg
                $ jobs_arg $ budget_arg $ out_arg $ resume_arg $ certify_arg
                $ max_memory_arg $ max_attempts_arg $ escalation_arg
-               $ fallback_arg $ backtrace_arg))
+               $ fallback_arg $ backtrace_arg $ telemetry_arg))
 
 (* ---------- report ---------- *)
 
@@ -599,10 +626,57 @@ let report_cmd =
                    unroutable) record carries $(b,certified: true) — the CI \
                    gate for sweeps run with $(b,--certify).")
   in
-  let run file strict require_certified =
+  let telemetry_arg =
+    Arg.(value & flag
+         & info [ "telemetry" ]
+             ~doc:"Also print a per-strategy telemetry summary (median \
+                   propagations/s and conflicts/s over the cells that carry \
+                   the $(b,telemetry) key — sweeps run with \
+                   $(b,--telemetry)).")
+  in
+  let median xs =
+    match List.sort Float.compare xs with
+    | [] -> nan
+    | sorted ->
+        let n = List.length sorted in
+        let nth i = List.nth sorted i in
+        if n mod 2 = 1 then nth (n / 2)
+        else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.
+  in
+  let telemetry_summary records =
+    let by_strategy = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (r : Eng.Run_record.t) ->
+        match r.Eng.Run_record.telemetry with
+        | None -> ()
+        | Some t ->
+            let s = r.Eng.Run_record.strategy in
+            if not (Hashtbl.mem by_strategy s) then order := s :: !order;
+            Hashtbl.replace by_strategy s
+              (t :: Option.value (Hashtbl.find_opt by_strategy s) ~default:[]))
+      records;
+    if !order = [] then
+      print_endline
+        "telemetry: no records carry it (sweep was run without --telemetry)"
+    else begin
+      Printf.printf "%-40s %6s %14s %12s\n" "telemetry (median per strategy)"
+        "cells" "props/s" "conflicts/s";
+      List.iter
+        (fun s ->
+          let ts = Hashtbl.find by_strategy s in
+          Printf.printf "%-40s %6d %14.0f %12.0f\n" s (List.length ts)
+            (median
+               (List.map (fun t -> t.Obs.Telemetry.propagations_per_sec) ts))
+            (median (List.map (fun t -> t.Obs.Telemetry.conflicts_per_sec) ts)))
+        (List.rev !order)
+    end
+  in
+  let run file strict require_certified telemetry =
     let records, bad = Eng.Sweep.load file in
     print_string (Eng.Sweep.render_table records);
     Printf.printf "%s\n" (Eng.Sweep.summary records);
+    if telemetry then telemetry_summary records;
     if bad > 0 then Printf.printf "unparsable lines: %d\n" bad;
     let crashed =
       List.exists
@@ -635,7 +709,140 @@ let report_cmd =
     (Cmd.info "report"
        ~doc:"Render a sweep's JSONL records as the benchmarks × strategies \
              table (a pure view over the file).")
-    Term.(ret (const run $ file_arg $ strict_arg $ require_certified_arg))
+    Term.(ret (const run $ file_arg $ strict_arg $ require_certified_arg
+               $ telemetry_arg))
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"RUNS.jsonl")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Write the trace there instead of stdout.")
+  in
+  (* Sweep records carry durations, not wall-clock instants (cells run
+     concurrently on the pool, so their real start times overlap and mean
+     little). The trace therefore lays each strategy out on its own thread
+     lane and packs its cells end to end — the rendered timeline reads as
+     per-strategy cumulative CPU time, which is the quantity the paper
+     compares. *)
+  let run file out =
+    let records, bad = Eng.Sweep.load file in
+    if records = [] then
+      `Error
+        ( false,
+          Printf.sprintf "%s: no parsable records (%d bad lines)" file bad )
+    else begin
+      let tids = Hashtbl.create 8 in
+      let cursors = Hashtbl.create 8 in
+      let tid_of strategy =
+        match Hashtbl.find_opt tids strategy with
+        | Some tid -> tid
+        | None ->
+            let tid = Hashtbl.length tids + 1 in
+            Hashtbl.add tids strategy tid;
+            tid
+      in
+      let events = ref [] in
+      let span ~name ~tid ~ts_us ~dur_us ~args =
+        events :=
+          Obs.Json.Obj
+            [
+              ("name", Obs.Json.String name);
+              ("ph", Obs.Json.String "X");
+              ("pid", Obs.Json.Int 1);
+              ("tid", Obs.Json.Int tid);
+              ("ts", Obs.Json.Float ts_us);
+              ("dur", Obs.Json.Float dur_us);
+              ("args", Obs.Json.Obj args);
+            ]
+          :: !events
+      in
+      List.iter
+        (fun (r : Eng.Run_record.t) ->
+          let tid = tid_of r.Eng.Run_record.strategy in
+          let cursor =
+            Option.value (Hashtbl.find_opt cursors tid) ~default:0.
+          in
+          let cell_args =
+            [
+              ("benchmark", Obs.Json.String r.Eng.Run_record.benchmark);
+              ("width", Obs.Json.Int r.Eng.Run_record.width);
+              ( "outcome",
+                Obs.Json.String
+                  (Eng.Run_record.outcome_name r.Eng.Run_record.outcome) );
+            ]
+          in
+          let t = r.Eng.Run_record.timings in
+          let phases =
+            [
+              ("to_graph", t.C.Flow.to_graph);
+              ("to_cnf", t.C.Flow.to_cnf);
+              ("solving", t.C.Flow.solving);
+            ]
+          in
+          let cell_name =
+            Printf.sprintf "%s W=%d" r.Eng.Run_record.benchmark
+              r.Eng.Run_record.width
+          in
+          let total_us =
+            1e6 *. List.fold_left (fun a (_, s) -> a +. s) 0. phases
+          in
+          span ~name:cell_name ~tid ~ts_us:cursor ~dur_us:total_us
+            ~args:cell_args;
+          let ts = ref cursor in
+          List.iter
+            (fun (name, seconds) ->
+              let dur_us = 1e6 *. seconds in
+              span ~name ~tid ~ts_us:!ts ~dur_us ~args:cell_args;
+              ts := !ts +. dur_us)
+            phases;
+          Hashtbl.replace cursors tid (cursor +. total_us))
+        records;
+      let meta =
+        Hashtbl.fold
+          (fun strategy tid acc ->
+            Obs.Json.Obj
+              [
+                ("name", Obs.Json.String "thread_name");
+                ("ph", Obs.Json.String "M");
+                ("pid", Obs.Json.Int 1);
+                ("tid", Obs.Json.Int tid);
+                ( "args",
+                  Obs.Json.Obj [ ("name", Obs.Json.String strategy) ] );
+              ]
+            :: acc)
+          tids []
+      in
+      let doc =
+        Obs.Json.Obj
+          [
+            ("displayTimeUnit", Obs.Json.String "ms");
+            ("traceEvents", Obs.Json.List (meta @ List.rev !events));
+          ]
+      in
+      let text = Obs.Json.to_string doc in
+      (match out with
+      | None -> print_endline text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          output_char oc '\n';
+          close_out oc;
+          Printf.eprintf "trace written to %s\n" path);
+      if bad > 0 then Printf.eprintf "unparsable lines skipped: %d\n" bad;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Convert a sweep's JSONL records into Chrome trace_event JSON \
+             (chrome://tracing / Perfetto): one thread lane per strategy, \
+             cells packed as cumulative CPU time, phase sub-spans.")
+    Term.(ret (const run $ file_arg $ out_arg))
 
 (* ---------- certify ---------- *)
 
@@ -919,6 +1126,6 @@ let () =
        (Cmd.group ~default info
           [
             list_cmd; info_cmd; export_cmd; encode_cmd; route_cmd; min_width_cmd;
-            portfolio_cmd; sweep_cmd; report_cmd; certify_cmd; solve_cmd;
-            color_cmd; render_cmd; route_file_cmd;
+            portfolio_cmd; sweep_cmd; report_cmd; trace_cmd; certify_cmd;
+            solve_cmd; color_cmd; render_cmd; route_file_cmd;
           ]))

@@ -1,4 +1,5 @@
 module Sat = Fpgasat_sat
+module Obs = Fpgasat_obs
 module G = Fpgasat_graph
 module E = Fpgasat_encodings
 module F = Fpgasat_fpga
@@ -23,6 +24,7 @@ type run = {
   solver_stats : Sat.Stats.t;
   proof : Sat.Proof.t option;
   certified : bool option;
+  telemetry : Obs.Telemetry.t option;
 }
 
 let outcome_name = function
@@ -112,8 +114,15 @@ let color_graph ?(strategy = Strategy.best_single)
 
 let check_width ?(strategy = Strategy.best_single)
     ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
-    ?(backend = `Cdcl) route ~width =
+    ?(telemetry = false) ?trace ?(backend = `Cdcl) route ~width =
   if width < 1 then invalid_arg "Flow.check_width: width < 1";
+  (* an attached trace takes over the budget's event hook: the run's
+     lifecycle is exactly what the profile is for *)
+  let budget =
+    match trace with
+    | None -> budget
+    | Some tr -> Sat.Solver.with_event_hook (Obs.Trace.sink tr) budget
+  in
   let (graph, csp), to_graph =
     timed (fun () ->
         let graph = F.Conflict_graph.build route in
@@ -126,10 +135,22 @@ let check_width ?(strategy = Strategy.best_single)
     | `Cdcl ->
         if want_proof || certify then Some (Sat.Proof.create ()) else None
   in
+  Obs.Trace.record_opt trace Obs.Trace.Solve_begin width 0;
+  let alloc0 = if telemetry then Gc.allocated_bytes () else 0. in
   let answer, encoded, stats, to_cnf, solving =
     match backend with
     | `Cdcl -> solve_csp strategy budget proof csp
     | `Dpll -> solve_csp_dpll strategy budget csp
+  in
+  let telemetry =
+    if telemetry then
+      let words_allocated =
+        int_of_float
+          ((Gc.allocated_bytes () -. alloc0)
+          /. float_of_int (Sys.word_size / 8))
+      in
+      Some (Obs.Telemetry.of_stats ~solving ~words_allocated stats)
+    else None
   in
   let cnf = encoded.E.Csp_encode.cnf in
   let outcome, certified =
@@ -162,6 +183,8 @@ let check_width ?(strategy = Strategy.best_single)
     | `Timeout -> (Timeout, None)
     | `Memout -> (Memout, None)
   in
+  Obs.Trace.record_opt trace Obs.Trace.Solve_end width
+    (if decisive outcome then 1 else 0);
   {
     outcome;
     timings = { to_graph; to_cnf; solving };
@@ -172,4 +195,5 @@ let check_width ?(strategy = Strategy.best_single)
     solver_stats = stats;
     proof;
     certified;
+    telemetry;
   }

@@ -50,6 +50,9 @@ type run = {
           certificate — an UNSAT proof accepted by {!Fpgasat_sat.Drat_check}
           or a model accepted by {!Fpgasat_sat.Solver.check_model} plus
           {!Fpgasat_fpga.Detailed_route.verify}. *)
+  telemetry : Fpgasat_obs.Telemetry.t option;
+      (** Derived performance metrics of this run; [None] unless the run
+          was asked for them ([~telemetry:true]). *)
 }
 
 exception Decode_mismatch of string
@@ -61,6 +64,8 @@ val check_width :
   ?budget:Fpgasat_sat.Solver.budget ->
   ?want_proof:bool ->
   ?certify:bool ->
+  ?telemetry:bool ->
+  ?trace:Fpgasat_obs.Trace.t ->
   ?backend:[ `Cdcl | `Dpll ] ->
   Fpgasat_fpga.Global_route.t ->
   width:int ->
@@ -69,6 +74,13 @@ val check_width :
     Default strategy: {!Strategy.best_single}. With [~certify:true] (default
     false) a proof is recorded regardless of [want_proof] and the answer is
     independently checked — see {!field-run.certified}.
+
+    With [~telemetry:true] (default false) the run additionally carries
+    {!field-run.telemetry} (throughput rates, LBD histogram, allocation);
+    the only cost is two [Gc.allocated_bytes] reads. An attached [trace]
+    records the run's lifecycle — a solve span plus solver events via
+    {!Fpgasat_obs.Trace.sink}, which replaces any [on_event] hook already
+    on the budget.
 
     [backend] (default [`Cdcl]) selects the solver. [`Dpll] runs the plain
     DPLL solver instead — the last rung of the sweep supervisor's fallback

@@ -92,7 +92,7 @@ let with_interrupt hook (budget : Sat.Solver.budget) =
    view the cell's code raised mid-solve, which is exactly the crash path
    under test. Raising from inside the hook would not do: the solver
    deliberately treats that as interrupt-fired (see Solver.budget). *)
-let raise_at_conflict n job_run ~budget ~certify ~fallback =
+let raise_at_conflict n job_run ~budget ~certify ~telemetry ~fallback =
   let polls = ref 0 in
   let fired = ref false in
   let hook () =
@@ -103,33 +103,33 @@ let raise_at_conflict n job_run ~budget ~certify ~fallback =
     end
     else false
   in
-  let run = job_run ~budget:(with_interrupt hook budget) ~certify ~fallback in
+  let run = job_run ~budget:(with_interrupt hook budget) ~certify ~telemetry ~fallback in
   if !fired then
     raise (Injected (Printf.sprintf "chaos: raised at conflict %d" n));
   run
 
-let spurious_interrupt job_run ~budget ~certify ~fallback =
-  job_run ~budget:(with_interrupt (fun () -> true) budget) ~certify ~fallback
+let spurious_interrupt job_run ~budget ~certify ~telemetry ~fallback =
+  job_run ~budget:(with_interrupt (fun () -> true) budget) ~certify ~telemetry ~fallback
 
-let hook_raise job_run ~budget ~certify ~fallback =
+let hook_raise job_run ~budget ~certify ~telemetry ~fallback =
   let hook () = raise (Injected "chaos: interrupt hook raised") in
-  job_run ~budget:(with_interrupt hook budget) ~certify ~fallback
+  job_run ~budget:(with_interrupt hook budget) ~certify ~telemetry ~fallback
 
 (* Holds [mb] megabytes of live ballast across the attempt so the solver's
    heap probe sees a swollen process — the deterministic stand-in for an
    exploding clause database. *)
-let alloc_burst mb job_run ~budget ~certify ~fallback =
+let alloc_burst mb job_run ~budget ~certify ~telemetry ~fallback =
   let words = mb * (1024 * 1024 / (Sys.word_size / 8)) in
   let ballast = Array.make words 0 in
   Fun.protect
     ~finally:(fun () -> ignore (Sys.opaque_identity ballast.(0)))
-    (fun () -> job_run ~budget ~certify ~fallback)
+    (fun () -> job_run ~budget ~certify ~telemetry ~fallback)
 
 (* Chops a few bytes off the results file before the cell runs — the torn
    final line a kill leaves behind. Only meaningful under jobs = 1, where
    the file's tail is a complete record of an earlier cell; resume must
    ignore the torn line and re-run only that cell. *)
-let torn_tail out job_run ~budget ~certify ~fallback =
+let torn_tail out job_run ~budget ~certify ~telemetry ~fallback =
   (match out with
   | Some path when Sys.file_exists path ->
       let len = (Unix.stat path).Unix.st_size in
@@ -139,7 +139,7 @@ let torn_tail out job_run ~budget ~certify ~fallback =
           ~finally:(fun () -> Unix.close fd)
           (fun () -> Unix.ftruncate fd (len - 5))
   | _ -> ());
-  job_run ~budget ~certify ~fallback
+  job_run ~budget ~certify ~telemetry ~fallback
 
 (* Drops the final (empty-clause) addition from an UNSAT proof, the way a
    torn proof file would: certification must notice and report
@@ -157,8 +157,8 @@ let corrupt_proof p =
     steps;
   corrupted
 
-let corrupt_drat job_run ~budget ~certify:_ ~fallback =
-  let run = job_run ~budget ~certify:true ~fallback in
+let corrupt_drat job_run ~budget ~certify:_ ~telemetry ~fallback =
+  let run = job_run ~budget ~certify:true ~telemetry ~fallback in
   match (run.C.Flow.outcome, run.C.Flow.proof) with
   | C.Flow.Unroutable, Some p when Sat.Proof.ends_with_empty p ->
       let corrupted = corrupt_proof p in

@@ -7,8 +7,9 @@
     results use; {!Failure} is the taxonomy the supervisor classifies
     non-decisive cells with; {!Chaos} injects deterministic faults into job
     queues to test the supervisor itself; {!Portfolio} races strategies on
-    the same pool with first-answer-wins cancellation; {!Json} is the
-    dependency-free JSON substrate. *)
+    the same pool with first-answer-wins cancellation; {!Json} re-exports
+    the dependency-free JSON substrate, which now lives in
+    [Fpgasat_obs.Json]. *)
 
 module Json = Json
 module Pool = Pool

@@ -1,4 +1,5 @@
 module Sat = Fpgasat_sat
+module Obs = Fpgasat_obs
 module C = Fpgasat_core
 
 type outcome =
@@ -19,6 +20,7 @@ type t = {
   cnf_clauses : int;
   stats : Sat.Stats.t;
   certified : bool option;
+  telemetry : Obs.Telemetry.t option;
   attempts : int option;
   failure : string option;
   backtrace : string option;
@@ -70,6 +72,7 @@ let of_run ?strategy ?attempts ?failure ?(quarantined = false) ~benchmark
     cnf_clauses = run.C.Flow.cnf_clauses;
     stats = run.C.Flow.solver_stats;
     certified = run.C.Flow.certified;
+    telemetry = run.C.Flow.telemetry;
     attempts;
     failure;
     quarantined;
@@ -89,6 +92,7 @@ let crashed ?attempts ?failure ?backtrace ?(quarantined = false) ~benchmark
     cnf_clauses = 0;
     stats = Sat.Stats.create ();
     certified = None;
+    telemetry = None;
     attempts;
     failure;
     backtrace;
@@ -128,6 +132,14 @@ let to_json r =
   let quarantined =
     if r.quarantined then [ ("quarantined", Json.Bool true) ] else []
   in
+  (* optional like the others: absent unless the sweep asked for telemetry,
+     so pre-telemetry consumers and byte-diff-based tooling see identical
+     lines *)
+  let telemetry =
+    match r.telemetry with
+    | Some t -> [ ("telemetry", Obs.Telemetry.to_json t) ]
+    | None -> []
+  in
   Json.Obj
     ([
        ("schema", Json.String schema_version);
@@ -137,6 +149,7 @@ let to_json r =
        ("outcome", Json.String (outcome_name r.outcome));
      ]
     @ crash @ certified @ attempts @ failure @ backtrace @ quarantined
+    @ telemetry
     @ [
         ( "timings",
           Json.Obj
@@ -240,6 +253,11 @@ let of_json json =
       | Some (Json.Bool b) -> Ok b
       | Some _ -> Error "key \"quarantined\" is not a boolean"
     in
+    let* telemetry =
+      match Json.find json "telemetry" with
+      | None -> Ok None
+      | Some t -> Result.map Option.some (Obs.Telemetry.of_json t)
+    in
     let* timings = get json "timings" in
     let* to_graph = num timings "to_graph" in
     let* to_cnf = num timings "to_cnf" in
@@ -278,6 +296,7 @@ let of_json json =
         cnf_clauses;
         stats;
         certified;
+        telemetry;
         attempts;
         failure;
         backtrace;
@@ -322,6 +341,7 @@ let equal a b =
   && a.cnf_clauses = b.cnf_clauses
   && stats_eq a.stats b.stats
   && Option.equal Bool.equal a.certified b.certified
+  && Option.equal Obs.Telemetry.equal a.telemetry b.telemetry
   && Option.equal Int.equal a.attempts b.attempts
   && Option.equal String.equal a.failure b.failure
   && Option.equal String.equal a.backtrace b.backtrace

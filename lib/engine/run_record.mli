@@ -16,6 +16,9 @@
      "outcome":"routable|unroutable|timeout|memout|crashed","crash":"msg?",
      "certified":true?,"attempts":n?,"failure":"tag?","backtrace":"bt?",
      "quarantined":true?,
+     "telemetry":{"propagations_per_sec":f,"conflicts_per_sec":f,
+                  "lbd_hist":[n,...],"words_allocated":n,
+                  "peak_heap_words":n,"solve_seconds":f}?,
      "timings":{"to_graph":s,"to_cnf":s,"solving":s},"wall_seconds":s,
      "cnf":{"vars":n,"clauses":n},
      "solver":{"decisions":n,"propagations":n,"conflicts":n,"restarts":n,
@@ -57,6 +60,12 @@ type t = {
   certified : bool option;
       (** Mirrors {!Fpgasat_core.Flow.run.certified}: [Some true] iff the
           answer carried an independently checked certificate. *)
+  telemetry : Fpgasat_obs.Telemetry.t option;
+      (** Mirrors {!Fpgasat_core.Flow.run.telemetry}: derived per-solve
+          rates, present only on sweeps run with telemetry enabled. Like
+          the other optional keys it is absent (not null) otherwise, so
+          pre-telemetry records parse unchanged and sweeps without it emit
+          byte-identical lines. *)
   attempts : int option;
       (** How many attempts the supervisor spent on this cell; [None] on
           single-attempt sweeps (the historical behaviour). *)

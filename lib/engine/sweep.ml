@@ -1,4 +1,5 @@
 module Sat = Fpgasat_sat
+module Obs = Fpgasat_obs
 module C = Fpgasat_core
 
 type fallback = Primary | Fallback_minisat | Fallback_dpll
@@ -15,6 +16,7 @@ type job = {
   run :
     budget:Sat.Solver.budget ->
     certify:bool ->
+    telemetry:bool ->
     fallback:fallback ->
     C.Flow.run;
 }
@@ -25,9 +27,11 @@ let cell ~benchmark strategy route ~width =
     strategy = C.Strategy.name strategy;
     width;
     run =
-      (fun ~budget ~certify ~fallback ->
+      (fun ~budget ~certify ~telemetry ~fallback ->
         match fallback with
-        | Primary -> C.Flow.check_width ~strategy ~budget ~certify route ~width
+        | Primary ->
+            C.Flow.check_width ~strategy ~budget ~certify ~telemetry route
+              ~width
         | Fallback_minisat ->
             let strategy =
               {
@@ -36,10 +40,11 @@ let cell ~benchmark strategy route ~width =
                 solver_name = "minisat";
               }
             in
-            C.Flow.check_width ~strategy ~budget ~certify route ~width
+            C.Flow.check_width ~strategy ~budget ~certify ~telemetry route
+              ~width
         | Fallback_dpll ->
-            C.Flow.check_width ~strategy ~budget ~certify ~backend:`Dpll route
-              ~width);
+            C.Flow.check_width ~strategy ~budget ~certify ~telemetry
+              ~backend:`Dpll route ~width);
   }
 
 type progress = { completed : int; total : int; skipped : int }
@@ -60,6 +65,8 @@ type config = {
   out : string option;
   resume : bool;
   certify : bool;
+  telemetry : bool;
+  trace : Obs.Trace.t option;
   retry : retry;
   capture_backtrace : bool;
   on_progress : (progress -> unit) option;
@@ -74,6 +81,8 @@ let default_config =
     out = None;
     resume = false;
     certify = false;
+    telemetry = false;
+    trace = None;
     retry = no_retry;
     capture_backtrace = false;
     on_progress = None;
@@ -173,6 +182,13 @@ let job_budget ?(attempt = 1) config =
   let budget =
     Sat.Solver.with_poll_interval config.poll_every Sat.Solver.no_budget
   in
+  (* an attached trace observes every attempt's solver events; the ring is
+     domain-safe, so all workers share it *)
+  let budget =
+    match config.trace with
+    | None -> budget
+    | Some tr -> Sat.Solver.with_event_hook (Obs.Trace.sink tr) budget
+  in
   let budget =
     match config.max_memory_mb with
     | None -> budget
@@ -205,7 +221,10 @@ let supervise config job =
     let budget = job_budget ~attempt config in
     let fallback = fallback_for config ~attempt in
     let result =
-      match job.run ~budget ~certify:config.certify ~fallback with
+      match
+        job.run ~budget ~certify:config.certify ~telemetry:config.telemetry
+          ~fallback
+      with
       | run -> Ok run
       | exception e ->
           let backtrace =
@@ -227,12 +246,16 @@ let supervise config job =
           ?attempts:(attempts_field attempt) ~benchmark:job.benchmark
           ~wall_seconds:(Unix.gettimeofday () -. t0)
           run
-    | Some _ when attempt < max_attempts -> go (attempt + 1)
+    | Some _ when attempt < max_attempts ->
+        Obs.Trace.record_opt config.trace Obs.Trace.Retry (attempt + 1) 0;
+        go (attempt + 1)
     | Some f -> (
         (* final attempt still failed: quarantine iff retries were actually
            allowed — a single-attempt sweep keeps the historical semantics
            where every failed cell is retried by the next --resume *)
         let quarantined = max_attempts > 1 in
+        if quarantined then
+          Obs.Trace.record_opt config.trace Obs.Trace.Quarantine attempt 0;
         let wall_seconds = Unix.gettimeofday () -. t0 in
         match result with
         | Ok run ->

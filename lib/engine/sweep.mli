@@ -53,13 +53,15 @@ type job = {
   run :
     budget:Fpgasat_sat.Solver.budget ->
     certify:bool ->
+    telemetry:bool ->
     fallback:fallback ->
     Fpgasat_core.Flow.run;
       (** The work. The engine passes the per-attempt budget (deadline +
-          memory ceiling + poll interval already threaded in), whether the
-          answer must carry a checked certificate ({!config.certify}), and
-          the ladder rung. Jobs that cannot honour a fallback may ignore
-          it. *)
+          memory ceiling + poll interval — and, when the sweep carries a
+          {!config.trace}, the event hook — already threaded in), whether
+          the answer must carry a checked certificate ({!config.certify}),
+          whether to derive telemetry ({!config.telemetry}), and the ladder
+          rung. Jobs that cannot honour a fallback may ignore it. *)
 }
 
 val cell :
@@ -112,6 +114,13 @@ type config = {
           passes {!Fpgasat_sat.Solver.check_model} and
           {!Fpgasat_fpga.Detailed_route.verify}. Results gain the
           [certified] record field. *)
+  telemetry : bool;
+      (** Derive per-solve telemetry ({!Fpgasat_obs.Telemetry}) on every
+          cell; records gain the optional [telemetry] key. *)
+  trace : Fpgasat_obs.Trace.t option;
+      (** When set, every attempt's budget carries the trace's event hook
+          ({!Fpgasat_obs.Trace.sink}) and the supervisor records [Retry] /
+          [Quarantine] marks into it. One ring shared by all workers. *)
   retry : retry;
   capture_backtrace : bool;
       (** Record crash backtraces into {!Run_record.t.backtrace} (costs a
@@ -121,8 +130,9 @@ type config = {
 
 val default_config : config
 (** [jobs = Pool.default_jobs ()], no budget, no memory ceiling, default
-    poll interval, no output file, no resume, no certification,
-    {!no_retry}, no backtraces, no progress callback. *)
+    poll interval, no output file, no resume, no certification, no
+    telemetry, no trace, {!no_retry}, no backtraces, no progress
+    callback. *)
 
 val run : config -> job list -> Run_record.t list
 (** Executes the queue and returns one record per job, in job order — one

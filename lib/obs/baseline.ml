@@ -1,0 +1,174 @@
+let schema_version = "fpgasat.bench/1"
+let default_tolerance = 1.25
+
+(* Wall times below a microsecond are clock noise; clamping both sides of
+   a ratio there keeps a 0-vs-0 cell at ratio 1 instead of 0/0. *)
+let epsilon_seconds = 1e-6
+
+type t = { sections : (string * (string * float) list) list }
+
+let make sections = { sections }
+let sections t = t.sections
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ( "sections",
+        Json.Obj
+          (List.map
+             (fun (name, cells) ->
+               ( name,
+                 Json.Obj
+                   (List.map (fun (k, v) -> (k, Json.Float v)) cells) ))
+             t.sections) );
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let* schema =
+    match Json.find json "schema" with
+    | Some (Json.String s) -> Ok s
+    | Some _ -> Error "key \"schema\" is not a string"
+    | None -> Error "missing key \"schema\""
+  in
+  if schema <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema %S (want %S)" schema schema_version)
+  else
+    let* sections =
+      match Json.find json "sections" with
+      | Some (Json.Obj kvs) -> Ok kvs
+      | Some _ -> Error "key \"sections\" is not an object"
+      | None -> Error "missing key \"sections\""
+    in
+    List.fold_left
+      (fun acc (name, cells) ->
+        let* acc = acc in
+        let* cells =
+          match cells with
+          | Json.Obj kvs ->
+              List.fold_left
+                (fun acc (k, v) ->
+                  let* acc = acc in
+                  match v with
+                  | Json.Float f -> Ok ((k, f) :: acc)
+                  | Json.Int i -> Ok ((k, float_of_int i) :: acc)
+                  | _ ->
+                      Error
+                        (Printf.sprintf "cell %S/%S is not a number" name k))
+                (Ok []) kvs
+              |> Result.map List.rev
+          | _ -> Error (Printf.sprintf "section %S is not an object" name)
+        in
+        Ok ((name, cells) :: acc))
+      (Ok []) sections
+    |> Result.map (fun secs -> { sections = List.rev secs })
+
+let of_string s =
+  match Json.of_string s with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok json -> of_json json
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents -> of_string contents
+
+let to_file path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json t));
+      Out_channel.output_char oc '\n')
+
+(* ---------- comparison ---------- *)
+
+type section_report = {
+  section : string;
+  geomean : float option;
+  cells : int;
+  missing : string list;
+  ok : bool;
+}
+
+type report = {
+  sections : section_report list;
+  tolerance : float;
+  ok : bool;
+}
+
+let compare ?(tolerance = default_tolerance) ~(baseline : t) ~(current : t) ()
+    =
+  if tolerance <= 0. then invalid_arg "Baseline.compare: tolerance <= 0";
+  let compare_section (name, base_cells) =
+    match List.assoc_opt name current.sections with
+    | None ->
+        (* a vanished section means the bench no longer measures what the
+           baseline pinned — that is a gate failure, not a free pass *)
+        {
+          section = name;
+          geomean = None;
+          cells = 0;
+          missing = List.map fst base_cells;
+          ok = false;
+        }
+    | Some cur_cells ->
+        let missing, ratios =
+          List.partition_map
+            (fun (key, base_v) ->
+              match List.assoc_opt key cur_cells with
+              | None -> Left key
+              | Some cur_v ->
+                  let base_v = Float.max base_v epsilon_seconds in
+                  let cur_v = Float.max cur_v epsilon_seconds in
+                  Right (cur_v /. base_v))
+            base_cells
+        in
+        let geomean =
+          match ratios with
+          | [] -> None
+          | _ ->
+              let sum = List.fold_left (fun a r -> a +. log r) 0. ratios in
+              Some (exp (sum /. float_of_int (List.length ratios)))
+        in
+        let ok =
+          missing = []
+          && match geomean with None -> true | Some g -> g <= tolerance
+        in
+        { section = name; geomean; cells = List.length ratios; missing; ok }
+  in
+  let sections = List.map compare_section baseline.sections in
+  {
+    sections;
+    tolerance;
+    ok = List.for_all (fun (s : section_report) -> s.ok) sections;
+  }
+
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "perf gate: tolerance %.2fx (geometric mean per section)\n"
+       r.tolerance);
+  List.iter
+    (fun s ->
+      let ratio =
+        match s.geomean with
+        | Some g -> Printf.sprintf "%.3fx over %d cells" g s.cells
+        | None -> "no comparable cells"
+      in
+      let missing =
+        match s.missing with
+        | [] -> ""
+        | ms ->
+            Printf.sprintf "; missing: %s"
+              (String.concat ", "
+                 (if List.length ms > 4 then
+                    List.filteri (fun i _ -> i < 4) ms @ [ "..." ]
+                  else ms))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-4s %-10s %s%s\n"
+           (if s.ok then "ok" else "FAIL")
+           s.section ratio missing))
+    r.sections;
+  Buffer.add_string buf (if r.ok then "PASS" else "FAIL: performance regression");
+  Buffer.contents buf

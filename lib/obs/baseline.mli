@@ -1,0 +1,63 @@
+(** Benchmark baselines and the perf-regression gate.
+
+    A baseline is a named set of sections, each a flat [cell → seconds]
+    map — the durable JSON form of one bench run ([fpgasat.bench/1]).
+    {!compare} judges a current run against a committed baseline by the
+    geometric mean of per-cell time ratios within each section; a section
+    regresses when its mean ratio exceeds the tolerance. This is what
+    [bench --baseline BENCH_seed.json --gate 1.25] (and the CI perf-gate
+    job) runs on.
+
+    Robustness rules, pinned by test_obs:
+    - a baseline section absent from the current run {b fails} the gate
+      (the bench silently dropping a measurement must not pass);
+    - a baseline cell absent from its current section likewise fails and
+      is listed in [missing];
+    - sections/cells only in the current run are ignored (adding benches
+      never fails the gate);
+    - times are clamped to 1 µs before forming ratios, so zero-time cells
+      compare as equal instead of dividing by zero. *)
+
+type t
+
+val schema_version : string
+(** ["fpgasat.bench/1"]. *)
+
+val default_tolerance : float
+(** 1.25 — a section may be up to 25 % slower (geometric mean) before the
+    gate fails. *)
+
+val make : (string * (string * float) list) list -> t
+(** [make [section, [cell, seconds; ...]; ...]]. *)
+
+val sections : t -> (string * (string * float) list) list
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+val of_file : string -> (t, string) result
+(** [Error] on unreadable files as well as on parse failures. *)
+
+val to_file : string -> t -> unit
+
+type section_report = {
+  section : string;
+  geomean : float option;
+      (** Geometric mean of current/baseline ratios over the cells present
+          in both; [None] when no cell is comparable. *)
+  cells : int;  (** Cells compared. *)
+  missing : string list;  (** Baseline cells absent from the current run. *)
+  ok : bool;
+}
+
+type report = {
+  sections : section_report list;  (** One per {e baseline} section. *)
+  tolerance : float;
+  ok : bool;  (** All sections ok. *)
+}
+
+val compare : ?tolerance:float -> baseline:t -> current:t -> unit -> report
+(** Raises [Invalid_argument] on a non-positive tolerance. *)
+
+val render : report -> string
+(** Human-readable multi-line verdict ending in [PASS] or [FAIL: ...]. *)

@@ -1,0 +1,14 @@
+(** Observability: tracing, telemetry, and the performance baseline gate.
+
+    {!Json} is the dependency-free JSON substrate the whole stack shares
+    (re-exported by [Fpgasat_engine] for compatibility); {!Trace} is a
+    fixed-size allocation-free ring buffer of timestamped solver events
+    with JSON and Chrome [trace_event] dumps; {!Telemetry} derives per-solve
+    rates (propagations/s, conflicts/s, LBD histogram, allocation, peak
+    heap) that ride the run-record schema; {!Baseline} compares two bench
+    JSON files and powers the CI perf-regression gate. *)
+
+module Json = Json
+module Trace = Trace
+module Telemetry = Telemetry
+module Baseline = Baseline

@@ -1,0 +1,116 @@
+module Sat = Fpgasat_sat
+
+type t = {
+  propagations_per_sec : float;
+  conflicts_per_sec : float;
+  lbd_hist : int array;
+  words_allocated : int;
+  peak_heap_words : int;
+  solve_seconds : float;
+}
+
+let lbd_buckets = Sat.Stats.lbd_buckets
+
+let rate count seconds =
+  if seconds > 0. then float_of_int count /. seconds else 0.
+
+let of_stats ~solving ~words_allocated (stats : Sat.Stats.t) =
+  {
+    propagations_per_sec = rate stats.Sat.Stats.propagations solving;
+    conflicts_per_sec = rate stats.Sat.Stats.conflicts solving;
+    lbd_hist = Array.copy stats.Sat.Stats.lbd_hist;
+    words_allocated;
+    peak_heap_words = stats.Sat.Stats.peak_heap_words;
+    solve_seconds = solving;
+  }
+
+(* The histogram is emitted trimmed of trailing zero buckets (most runs
+   never learn LBD-15 clauses) and re-padded on parse, keeping the lines
+   short without losing information. *)
+let to_json t =
+  let last =
+    let rec go i = if i >= 0 && t.lbd_hist.(i) = 0 then go (i - 1) else i in
+    go (Array.length t.lbd_hist - 1)
+  in
+  let hist = List.init (last + 1) (fun i -> Json.Int t.lbd_hist.(i)) in
+  Json.Obj
+    [
+      ("propagations_per_sec", Json.Float t.propagations_per_sec);
+      ("conflicts_per_sec", Json.Float t.conflicts_per_sec);
+      ("lbd_hist", Json.List hist);
+      ("words_allocated", Json.Int t.words_allocated);
+      ("peak_heap_words", Json.Int t.peak_heap_words);
+      ("solve_seconds", Json.Float t.solve_seconds);
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let get key =
+    match Json.find json key with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "telemetry: missing key %S" key)
+  in
+  let num key =
+    let* v = get key in
+    match v with
+    | Json.Float f -> Ok f
+    | Json.Int i -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "telemetry: key %S is not a number" key)
+  in
+  let int key =
+    let* v = get key in
+    match v with
+    | Json.Int i -> Ok i
+    | _ -> Error (Printf.sprintf "telemetry: key %S is not an integer" key)
+  in
+  let* propagations_per_sec = num "propagations_per_sec" in
+  let* conflicts_per_sec = num "conflicts_per_sec" in
+  let* hist = get "lbd_hist" in
+  let* buckets =
+    match hist with
+    | Json.List xs ->
+        List.fold_left
+          (fun acc x ->
+            let* acc = acc in
+            match x with
+            | Json.Int i -> Ok (i :: acc)
+            | _ -> Error "telemetry: lbd_hist entry is not an integer")
+          (Ok []) xs
+        |> Result.map List.rev
+    | _ -> Error "telemetry: key \"lbd_hist\" is not a list"
+  in
+  if List.length buckets > lbd_buckets then
+    Error
+      (Printf.sprintf "telemetry: lbd_hist has %d buckets (max %d)"
+         (List.length buckets) lbd_buckets)
+  else
+    let lbd_hist = Array.make lbd_buckets 0 in
+    List.iteri (fun i v -> lbd_hist.(i) <- v) buckets;
+    let* words_allocated = int "words_allocated" in
+    let* peak_heap_words = int "peak_heap_words" in
+    let* solve_seconds = num "solve_seconds" in
+    Ok
+      {
+        propagations_per_sec;
+        conflicts_per_sec;
+        lbd_hist;
+        words_allocated;
+        peak_heap_words;
+        solve_seconds;
+      }
+
+let equal a b =
+  let feq x y = Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y) in
+  feq a.propagations_per_sec b.propagations_per_sec
+  && feq a.conflicts_per_sec b.conflicts_per_sec
+  && Array.length a.lbd_hist = Array.length b.lbd_hist
+  && Array.for_all2 ( = ) a.lbd_hist b.lbd_hist
+  && a.words_allocated = b.words_allocated
+  && a.peak_heap_words = b.peak_heap_words
+  && feq a.solve_seconds b.solve_seconds
+
+let pp fmt t =
+  Format.fprintf fmt
+    "props/s=%.0f conflicts/s=%.0f words_alloc=%d peak_heap_words=%d"
+    t.propagations_per_sec t.conflicts_per_sec t.words_allocated
+    t.peak_heap_words

@@ -1,0 +1,39 @@
+(** Derived per-solve performance metrics.
+
+    A {!t} condenses one solver episode ({!Fpgasat_sat.Stats.t} plus the
+    measured solve time and allocation) into the rates the performance
+    trajectory tracks: propagation and conflict throughput, the
+    learnt-clause LBD histogram, words allocated by encode+solve, and the
+    peak heap observed. It rides on the [fpgasat.run/1] record schema as
+    the backward-compatible optional ["telemetry"] key. *)
+
+type t = {
+  propagations_per_sec : float;  (** 0 when the solve took no time. *)
+  conflicts_per_sec : float;
+  lbd_hist : int array;
+      (** Copy of {!Fpgasat_sat.Stats.t.lbd_hist}; length {!lbd_buckets}. *)
+  words_allocated : int;
+      (** Heap words allocated while encoding and solving
+          ([Gc.allocated_bytes] delta), this domain only. *)
+  peak_heap_words : int;
+      (** {!Fpgasat_sat.Stats.t.peak_heap_words} of the episode. *)
+  solve_seconds : float;  (** The wall-clock denominator of the rates. *)
+}
+
+val lbd_buckets : int
+(** = {!Fpgasat_sat.Stats.lbd_buckets}. *)
+
+val of_stats :
+  solving:float -> words_allocated:int -> Fpgasat_sat.Stats.t -> t
+(** Derive the metrics from raw solver statistics; the histogram is
+    copied, not aliased. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Round-trips {!to_json} exactly. The histogram is serialised with
+    trailing zero buckets trimmed and re-padded on parse. *)
+
+val equal : t -> t -> bool
+(** Structural; floats compared bit-exactly. *)
+
+val pp : Format.formatter -> t -> unit

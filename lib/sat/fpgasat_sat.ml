@@ -15,6 +15,7 @@ module Dimacs_cnf = Dimacs_cnf
 module Vec = Vec
 module Heap = Heap
 module Luby = Luby
+module Event = Event
 module Solver = Solver
 module Dpll = Dpll
 module Proof = Proof

@@ -199,7 +199,7 @@ let clause_lists cnf =
          in
          go (off + len - 1) [] :: acc))
 
-let simplify ?(max_rounds = 10) cnf =
+let simplify ?on_event ?(max_rounds = 10) cnf =
   let w =
     {
       clauses = clause_lists cnf;
@@ -223,7 +223,10 @@ let simplify ?(max_rounds = 10) cnf =
         let c3 = pure_literal_round w in
         (* pure assignments can satisfy clauses; one more propagation pass
            cleans them up on the next round *)
-        continue := c1 || c2 || c3
+        continue := c1 || c2 || c3;
+        match on_event with
+        | None -> ()
+        | Some f -> f (Event.Simplify_round !rounds)
       done;
       final_cleanup w;
       false
@@ -256,7 +259,10 @@ let extend_model r model =
   out
 
 let solve ?config ?budget cnf =
-  let r = simplify cnf in
+  let on_event =
+    match budget with Some b -> b.Solver.on_event | None -> None
+  in
+  let r = simplify ?on_event cnf in
   if r.unsat then (Solver.Unsat, r.stats, Stats.create ())
   else
     let result, solver_stats = Solver.solve ?config ?budget r.cnf in

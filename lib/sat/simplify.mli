@@ -25,9 +25,10 @@ type result = {
   stats : stats;
 }
 
-val simplify : ?max_rounds:int -> Cnf.t -> result
+val simplify : ?on_event:(Event.t -> unit) -> ?max_rounds:int -> Cnf.t -> result
 (** [simplify cnf] runs rounds of all techniques until fixpoint or
-    [max_rounds] (default 10). The input is not modified. *)
+    [max_rounds] (default 10). The input is not modified. [on_event]
+    receives one {!Event.Simplify_round} per completed round. *)
 
 val extend_model : result -> bool array -> bool array
 (** [extend_model r m] lifts a model of [r.cnf] to the original formula:
@@ -41,6 +42,7 @@ val solve :
   Solver.result * stats * Stats.t
 (** Preprocess, then solve, then extend the model; a drop-in strengthening
     of {!Solver.solve} (no proof support, since preprocessing steps are not
-    recorded in the trace). *)
+    recorded in the trace). The budget's [on_event] hook, if any, also
+    observes the preprocessing rounds. *)
 
 val pp_stats : Format.formatter -> stats -> unit

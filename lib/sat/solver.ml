@@ -37,6 +37,7 @@ type budget = {
   max_memory_mb : int option;
   interrupt : (unit -> bool) option;
   poll_every : int;
+  on_event : (Event.t -> unit) option;
 }
 
 let default_poll_interval = 256
@@ -48,6 +49,7 @@ let no_budget =
     max_memory_mb = None;
     interrupt = None;
     poll_every = default_poll_interval;
+    on_event = None;
   }
 
 let conflict_budget n = { no_budget with max_conflicts = Some n }
@@ -56,15 +58,18 @@ let memory_budget mb = { no_budget with max_memory_mb = Some mb }
 let interruptible f budget = { budget with interrupt = Some f }
 let with_poll_interval n budget = { budget with poll_every = max 1 n }
 let with_memory_limit mb budget = { budget with max_memory_mb = Some mb }
+let with_event_hook f budget = { budget with on_event = Some f }
 
 (* [Gc.quick_stat] reads the major-heap size without walking the heap, so it
    is cheap enough for the conflict-poll loop. In OCaml 5 the major heap is
    shared by all domains: the bound is on the whole process image, which is
    exactly what an unattended sweep needs to survive an exploding clause
    database without the OOM killer taking down its sibling domains. *)
-let heap_megabytes () =
-  let words = (Gc.quick_stat ()).Gc.heap_words in
+let heap_words () = (Gc.quick_stat ()).Gc.heap_words
+
+let words_to_megabytes words =
   float_of_int words *. float_of_int (Sys.word_size / 8) /. (1024. *. 1024.)
+
 
 type result = Sat of bool array | Unsat | Unknown | Memout
 
@@ -509,9 +514,19 @@ let run_search s budget assumptions =
   let conflicts_at_restart = ref 0 in
   let poll_every = max 1 budget.poll_every in
   let at_poll_point () = st.stats.Stats.conflicts mod poll_every = 0 in
+  (* [on_event] is matched at every emission site instead of being wrapped
+     in a default closure: with the hook absent the emission is one branch
+     on an immediate and no event value is ever allocated. *)
+  let on_event = budget.on_event in
   let over_memory () =
     match budget.max_memory_mb with
-    | Some mb when at_poll_point () -> heap_megabytes () > float_of_int mb
+    | Some mb when at_poll_point () ->
+        let words = heap_words () in
+        Stats.note_heap_words st.stats words;
+        (match on_event with
+        | None -> ()
+        | Some f -> f (Event.Memout_poll words));
+        words_to_megabytes words > float_of_int mb
     | Some _ | None -> false
   in
   let over_budget () =
@@ -549,6 +564,7 @@ let run_search s budget assumptions =
              raise Found_unsat
            end;
            let learnt, blevel, lbd = analyze st confl in
+           Stats.bump_lbd st.stats lbd;
            record_proof_add st (Array.to_list learnt);
            cancel_until st blevel;
            (if Array.length learnt = 1 then enqueue st learnt.(0) None
@@ -570,11 +586,19 @@ let run_search s budget assumptions =
              s.restart_count <- s.restart_count + 1;
              conflicts_at_restart := 0;
              st.stats.Stats.restarts <- st.stats.Stats.restarts + 1;
+             (match on_event with
+             | None -> ()
+             | Some f -> f (Event.Restart s.restart_count));
              cancel_until st 0
            end
            else begin
              if Vec.size st.learnts >= s.max_learnts then begin
+               let before = Vec.size st.learnts in
                reduce_db st;
+               (match on_event with
+               | None -> ()
+               | Some f ->
+                   f (Event.Reduce_db (before, before - Vec.size st.learnts)));
                s.max_learnts <- int_of_float (float_of_int s.max_learnts *. 1.1)
              end;
              (* establish pending assumptions before free decisions *)
@@ -612,6 +636,9 @@ let run_search s budget assumptions =
   | Out_of_budget -> result := Q_unknown
   | Out_of_memory_budget -> result := Q_memout);
   cancel_until st 0;
+  (* One end-of-episode heap sample so short runs (and runs without a
+     memory ceiling, which never poll) still report a peak. *)
+  Stats.note_heap_words st.stats (heap_words ());
   !result
 
 let solve_with ?(budget = no_budget) ?(assumptions = []) s =

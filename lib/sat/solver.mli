@@ -58,6 +58,14 @@ type budget = {
           between two conflicts; lower it for tighter cancellation, at the
           cost of calling the hook more often. [max_conflicts] is exact and
           unaffected. *)
+  on_event : (Event.t -> unit) option;
+      (** Observability hook: called synchronously from the search loop on
+          restarts, learnt-database reductions and memory polls (see
+          {!Event.t}). With the default [None] the solver allocates no event
+          values and each emission site is a single branch, so tracing is
+          free when disabled. The hook runs on the solving domain; it must
+          be fast and must not raise (an exception from it escapes the
+          search). [Fpgasat_obs.Trace.sink] is the standard consumer. *)
 }
 
 val default_poll_interval : int
@@ -78,6 +86,10 @@ val memory_budget : int -> budget
 
 val with_memory_limit : int -> budget -> budget
 (** Adds a [max_memory_mb] ceiling to an existing budget. *)
+
+val with_event_hook : (Event.t -> unit) -> budget -> budget
+(** Installs an {!field-budget.on_event} observability hook on an existing
+    budget. *)
 
 type result =
   | Sat of bool array

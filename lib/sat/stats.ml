@@ -1,3 +1,5 @@
+let lbd_buckets = 16
+
 type t = {
   mutable decisions : int;
   mutable propagations : int;
@@ -7,6 +9,8 @@ type t = {
   mutable learnt_literals : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+  lbd_hist : int array;
+  mutable peak_heap_words : int;
 }
 
 let create () =
@@ -19,7 +23,16 @@ let create () =
     learnt_literals = 0;
     deleted_clauses = 0;
     max_decision_level = 0;
+    lbd_hist = Array.make lbd_buckets 0;
+    peak_heap_words = 0;
   }
+
+let bump_lbd t lbd =
+  let i = if lbd >= lbd_buckets then lbd_buckets - 1 else max 0 lbd in
+  t.lbd_hist.(i) <- t.lbd_hist.(i) + 1
+
+let note_heap_words t words =
+  if words > t.peak_heap_words then t.peak_heap_words <- words
 
 let pp fmt s =
   Format.fprintf fmt

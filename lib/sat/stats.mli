@@ -1,5 +1,8 @@
 (** Search statistics reported by the solvers. *)
 
+val lbd_buckets : int
+(** Number of buckets in {!t.lbd_hist} (16). *)
+
 type t = {
   mutable decisions : int;
   mutable propagations : int;
@@ -9,7 +12,24 @@ type t = {
   mutable learnt_literals : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+  lbd_hist : int array;
+      (** Histogram of learnt-clause LBD (literal block distance): bucket
+          [i] counts clauses with LBD [i] for [i < lbd_buckets - 1], and the
+          last bucket everything at or above it. Length {!lbd_buckets}. *)
+  mutable peak_heap_words : int;
+      (** Largest major-heap size (in words, from [Gc.quick_stat]) observed
+          at a memory poll or at the end of a search episode; 0 when never
+          sampled. The heap is process-wide, so under a multi-domain sweep
+          this is an upper bound attribution, not a per-solver figure. *)
 }
 
 val create : unit -> t
+
+val bump_lbd : t -> int -> unit
+(** Count one learnt clause of the given LBD into {!t.lbd_hist} (clamped
+    into the last bucket). *)
+
+val note_heap_words : t -> int -> unit
+(** Raise {!t.peak_heap_words} to the given sample if larger. *)
+
 val pp : Format.formatter -> t -> unit

@@ -169,6 +169,7 @@ let flow_timeout_run width =
     solver_stats = Sat.Stats.create ();
     proof = None;
     certified = None;
+    telemetry = None;
   }
 
 let test_retry_walks_fallback_ladder () =
@@ -182,13 +183,13 @@ let test_retry_walks_fallback_ladder () =
       strategy = "ladder-strategy";
       width = unsat_width;
       run =
-        (fun ~budget ~certify ~fallback ->
+        (fun ~budget ~certify ~telemetry ~fallback ->
           rungs := Sweep.fallback_name fallback :: !rungs;
           match fallback with
           | Sweep.Primary -> flow_timeout_run unsat_width
           | Sweep.Fallback_minisat | Sweep.Fallback_dpll ->
               Flow.check_width ~strategy:Strategy.best_single ~budget ~certify
-                small_route ~width:unsat_width);
+                ~telemetry small_route ~width:unsat_width);
     }
   in
   let config =
@@ -217,7 +218,7 @@ let crash_job counter =
     strategy = "crash";
     width = 1;
     run =
-      (fun ~budget:_ ~certify:_ ~fallback:_ ->
+      (fun ~budget:_ ~certify:_ ~telemetry:_ ~fallback:_ ->
         Atomic.incr counter;
         failwith "deterministic bug");
   }
@@ -265,7 +266,7 @@ let test_retrying_resume_reruns_plain_failures () =
           Sweep.benchmark = "flaky";
           strategy = "flaky";
           width = 1;
-          run = (fun ~budget:_ ~certify:_ ~fallback:_ -> flow_timeout_run 1);
+          run = (fun ~budget:_ ~certify:_ ~telemetry:_ ~fallback:_ -> flow_timeout_run 1);
         }
       in
       let base =
@@ -280,9 +281,9 @@ let test_retrying_resume_reruns_plain_failures () =
         {
           timeout_job with
           Sweep.run =
-            (fun ~budget ~certify ~fallback:_ ->
+            (fun ~budget ~certify ~telemetry ~fallback:_ ->
               Atomic.incr counter;
-              (unsat_cell "flaky").Sweep.run ~budget ~certify
+              (unsat_cell "flaky").Sweep.run ~budget ~certify ~telemetry
                 ~fallback:Sweep.Primary);
         }
       in
@@ -428,9 +429,9 @@ let test_chaos_torn_tail_heals_on_resume () =
             {
               j with
               Sweep.run =
-                (fun ~budget ~certify ~fallback ->
+                (fun ~budget ~certify ~telemetry ~fallback ->
                   Atomic.incr counter;
-                  j.Sweep.run ~budget ~certify ~fallback);
+                  j.Sweep.run ~budget ~certify ~telemetry ~fallback);
             })
           [ a; b; c ]
       in
@@ -503,9 +504,9 @@ let chaos_sweep_invariants ~seed =
             {
               j with
               Sweep.run =
-                (fun ~budget ~certify ~fallback ->
+                (fun ~budget ~certify ~telemetry ~fallback ->
                   Atomic.incr counter;
-                  j.Sweep.run ~budget ~certify ~fallback);
+                  j.Sweep.run ~budget ~certify ~telemetry ~fallback);
             })
           cells
       in

@@ -236,8 +236,11 @@ let test_sweep_deterministic_across_jobs () =
       Alcotest.(check int) "cnf vars" a.Run_record.cnf_vars b.Run_record.cnf_vars;
       Alcotest.(check int) "cnf clauses" a.Run_record.cnf_clauses
         b.Run_record.cnf_clauses;
+      (* peak_heap_words is a GC observation, not a solver result: it
+         legitimately varies with how many domains share the heap *)
       Alcotest.(check bool) "solver stats" true
-        (a.Run_record.stats = b.Run_record.stats))
+        ({ a.Run_record.stats with Sat.Stats.peak_heap_words = 0 }
+        = { b.Run_record.stats with Sat.Stats.peak_heap_words = 0 }))
     r1 r8
 
 let test_sweep_crash_isolated () =
@@ -246,7 +249,7 @@ let test_sweep_crash_isolated () =
       Sweep.benchmark = "small";
       strategy = "crash-strategy";
       width = 2;
-      run = (fun ~budget:_ ~certify:_ ~fallback:_ -> failwith "deliberate crash");
+      run = (fun ~budget:_ ~certify:_ ~telemetry:_ ~fallback:_ -> failwith "deliberate crash");
     }
   in
   let jobs = [ List.hd (sweep_jobs ()); crash; List.nth (sweep_jobs ()) 1 ] in
@@ -276,9 +279,9 @@ let counting_jobs counter =
       {
         j with
         Sweep.run =
-          (fun ~budget ~certify ~fallback ->
+          (fun ~budget ~certify ~telemetry ~fallback ->
             Atomic.incr counter;
-            j.Sweep.run ~budget ~certify ~fallback);
+            j.Sweep.run ~budget ~certify ~telemetry ~fallback);
       })
     (sweep_jobs ())
 
@@ -346,7 +349,7 @@ let test_sweep_budget_times_out () =
       strategy = "spin";
       width = 1;
       run =
-        (fun ~budget ~certify:_ ~fallback:_ ->
+        (fun ~budget ~certify:_ ~telemetry:_ ~fallback:_ ->
           (match budget.Sat.Solver.interrupt with
           | Some f ->
               (* deadline is wall-clock: poll until it passes *)
@@ -364,6 +367,7 @@ let test_sweep_budget_times_out () =
             solver_stats = Sat.Stats.create ();
             proof = None;
             certified = None;
+            telemetry = None;
           })
     }
   in
