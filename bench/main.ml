@@ -55,6 +55,7 @@ let sections = ref
 let with_bechamel = ref false
 let encode_bench_only = ref false
 let jobs = ref 1
+let emission = ref "flat"
 let out_file = ref ""
 let resume = ref false
 let certify = ref false
@@ -78,6 +79,11 @@ let arg_spec =
       Arg.Set_string sections,
       "LIST comma-separated sections (default: all paper sections)" );
     ("--jobs", Arg.Set_int jobs, "N worker domains for the matrix sections (default 1)");
+    ( "--emission",
+      Arg.Set_string emission,
+      "MODE flat, defs or both — clause emission mode(s) for the Table 2 \
+       columns (default flat; 'both' doubles the matrix to compare \
+       definitional against flat emission)" );
     ( "--out",
       Arg.Set_string out_file,
       "FILE stream completed cells of the matrix sections as JSON lines" );
@@ -297,6 +303,18 @@ let table2_columns =
         "muldirect-3+muldirect"; "direct-3+muldirect";
       ]
 
+(* --emission expands the Table 2 matrix: 'defs' swaps every column to its
+   definitional (+defs) variant, 'both' appends the +defs variants after the
+   flat ones so the two emission modes face the same instances. *)
+let table2_emission_columns () =
+  let defs_col (e, s) = (E.Encoding.defs e, s) in
+  match String.lowercase_ascii !emission with
+  | "flat" -> table2_columns
+  | "defs" -> List.map defs_col table2_columns
+  | "both" -> table2_columns @ List.map defs_col table2_columns
+  | other ->
+      failwith (Printf.sprintf "--emission: expected flat, defs or both, got %S" other)
+
 let column_header (enc, sym) =
   Printf.sprintf "%s/%s" (E.Encoding.name enc)
     (Format.asprintf "%a" E.Symmetry.pp_option sym)
@@ -314,7 +332,8 @@ let section_table2 () =
      totals at the budget, so speedups under T/O are lower bounds).\n\n"
     !budget_seconds;
   let benches = Lazy.force prepared in
-  let cols = List.map strategy_of_column table2_columns in
+  let columns = table2_emission_columns () in
+  let cols = List.map strategy_of_column columns in
   let records =
     run_sweep
       (List.concat_map
@@ -362,7 +381,7 @@ let section_table2 () =
     :: List.mapi
          (fun i _ ->
            (if any_timeout.(i) then ">=" else "") ^ Report.format_seconds totals.(i))
-         table2_columns
+         columns
   in
   let base = totals.(0) in
   let speedup_row =
@@ -372,11 +391,11 @@ let section_table2 () =
            let s = base /. totals.(i) in
            (if any_timeout.(0) && not any_timeout.(i) then ">=" else "")
            ^ Report.format_speedup s)
-         table2_columns
+         columns
   in
   print_string
     (Report.render_table
-       ~header:("Benchmark" :: List.map column_header table2_columns)
+       ~header:("Benchmark" :: List.map column_header columns)
        (rows @ [ total_row; speedup_row ]));
   print_newline ()
 
@@ -1234,6 +1253,41 @@ let measure_encode () =
     em_words_alloc = int_of_float ((bytes1 -. bytes0) /. 8.);
   }
 
+(* Flat-vs-definitional comparison on the same vda instance: one real encode
+   per (encoding, emission) pair plus the closed-form conflict literals per
+   edge — the number the +defs layer drives down to 2 per shared pattern. *)
+let emission_comparison () =
+  let spec = Option.get (F.Benchmarks.find "vda") in
+  let inst = F.Benchmarks.build spec in
+  let graph = inst.F.Benchmarks.graph in
+  let k = inst.F.Benchmarks.max_congestion in
+  let csp = E.Csp.make graph ~k in
+  let side enc =
+    let encoded = E.Csp_encode.encode enc csp in
+    let cnf = encoded.E.Csp_encode.cnf in
+    let stats = E.Encoding_stats.predict enc ~k in
+    Eng.Json.Obj
+      [
+        ("vars", Eng.Json.Int (Sat.Cnf.num_vars cnf));
+        ("clauses", Eng.Json.Int (Sat.Cnf.num_clauses cnf));
+        ("lits", Eng.Json.Int (Sat.Cnf.num_lits cnf));
+        ( "conflict_lits_per_edge",
+          Eng.Json.Int stats.E.Encoding_stats.conflict_literals_per_edge );
+        ( "aux_vars_per_csp_var",
+          Eng.Json.Int stats.E.Encoding_stats.aux_vars_per_csp_var );
+      ]
+  in
+  List.map
+    (fun name ->
+      let enc = encoding name in
+      Eng.Json.Obj
+        [
+          ("encoding", Eng.Json.String name);
+          ("flat", side (E.Encoding.flat enc));
+          ("defs", side (E.Encoding.defs enc));
+        ])
+    [ "log"; "direct"; "muldirect"; "ITE-linear-2+muldirect"; "direct-3+muldirect" ]
+
 let section_encode_bench () =
   let m = measure_encode () in
   print_endline
@@ -1246,6 +1300,7 @@ let section_encode_bench () =
             ("encode_s", Eng.Json.Float m.em_encode_s);
             ("load_s", Eng.Json.Float m.em_load_s);
             ("words_alloc", Eng.Json.Int m.em_words_alloc);
+            ("emissions", Eng.Json.List (emission_comparison ()));
           ]))
 
 (* ------------------------------------------------------------------ *)
@@ -1345,6 +1400,12 @@ let section_perf_gate () =
 
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (match String.lowercase_ascii !emission with
+  | "flat" | "defs" | "both" -> ()
+  | other ->
+      prerr_endline
+        (Printf.sprintf "--emission: expected flat, defs or both, got %S" other);
+      exit 2);
   if !encode_bench_only then begin
     section_encode_bench ();
     exit 0

@@ -84,9 +84,11 @@ let list_cmd =
           spec.F.Benchmarks.grid spec.F.Benchmarks.grid spec.F.Benchmarks.nets
           spec.F.Benchmarks.seed)
       F.Benchmarks.specs;
-    print_endline "\nEncodings:";
+    print_endline "\nEncodings (append +defs for definitional emission):";
     List.iter
-      (fun e -> Printf.printf "  %s\n" (E.Encoding.name e))
+      (fun e ->
+        Printf.printf "  %-30s %s\n" (E.Encoding.name e)
+          (E.Encoding.name (E.Encoding.defs e)))
       E.Registry.all;
     print_endline "\nSymmetry-breaking heuristics: b1, s1";
     print_endline "Solver presets: siege, minisat"

@@ -21,15 +21,21 @@ let minimal_colors ?(strategy = Strategy.best_single)
   (* the selector-augmented formula starts as a flat arena copy of the
      encoded CNF (a blit, not a clause-by-clause rebuild) *)
   let cnf = Sat.Cnf.copy encoded.E.Csp_encode.cnf in
-  (* one selector per colour: assuming it switches the colour off *)
+  (* one selector per colour: assuming it switches the colour off. Under
+     definitional emission the encoder's (vertex, colour) definitions are
+     already in the copied arena, so the selector clauses stay binary
+     (~sel_c | ~d_v,c) instead of re-expanding the indexing pattern. *)
   let selectors = Array.init upper (fun _ -> Sat.Cnf.fresh_var cnf) in
   for v = 0 to G.Graph.num_vertices graph - 1 do
     for c = 0 to upper - 1 do
       Sat.Cnf.start_clause cnf;
       Sat.Cnf.push_lit cnf (Sat.Lit.neg_of selectors.(c));
-      List.iter
-        (fun l -> Sat.Cnf.push_lit cnf (Sat.Lit.negate l))
-        (E.Csp_encode.pattern_lits encoded v c);
+      (match E.Csp_encode.definition encoded v c with
+      | Some d -> Sat.Cnf.push_lit cnf (Sat.Lit.negate d)
+      | None ->
+          List.iter
+            (fun l -> Sat.Cnf.push_lit cnf (Sat.Lit.negate l))
+            (E.Csp_encode.pattern_lits encoded v c));
       Sat.Cnf.commit_clause cnf
     done
   done;

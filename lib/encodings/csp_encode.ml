@@ -7,6 +7,7 @@ type t = {
   layout : Layout.t;
   cnf : Sat.Cnf.t;
   symmetry : Symmetry.heuristic option;
+  emit : Emit.t option;
 }
 
 let boolean_var t v s = (v * t.layout.Layout.num_slots) + s
@@ -32,13 +33,29 @@ let push_negated t v pattern =
       Sat.Cnf.push_lit t.cnf (Sat.Lit.make (boolean_var t v s) (not pol)))
     pattern
 
+(* Definitional emission: the literal standing for "variable [v] selects
+   [value]" — the pattern's definition for len >= 2 (eagerly created, so
+   always cached), the single pattern literal for len = 1, none for the
+   empty pattern (a k=1 layout, whose conflict is the empty clause). *)
+let selection_lit t ctx v value =
+  match t.layout.Layout.patterns.(value) with
+  | [] -> None
+  | [ (s, pol) ] -> Some (Sat.Lit.make (boolean_var t v s) pol)
+  | pattern -> Some (Emit.conj ctx Emit.Neg (lits_of_pattern t v pattern))
+
 let encode ?symmetry encoding csp =
   let layout = Encoding.layout encoding csp.Csp.k in
   let n = Csp.num_variables csp in
   let cnf = Sat.Cnf.create () in
   Sat.Cnf.ensure_vars cnf (n * layout.Layout.num_slots);
-  let t = { encoding; csp; layout; cnf; symmetry } in
-  (* per-variable side clauses *)
+  let emit =
+    match Encoding.emission encoding with
+    | Encoding.Flat -> None
+    | Encoding.Definitional -> Some (Emit.create cnf)
+  in
+  let t = { encoding; csp; layout; cnf; symmetry; emit } in
+  (* per-variable side clauses (always flat: they range over slot
+     literals, not indexing patterns) *)
   for v = 0 to n - 1 do
     List.iter
       (fun clause ->
@@ -47,15 +64,44 @@ let encode ?symmetry encoding csp =
         Sat.Cnf.commit_clause cnf)
       layout.Layout.side
   done;
+  (* definitional mode: define every (variable, value) pattern up front —
+     one negative-polarity definition each, shared by all the conflict,
+     symmetry and selector clauses that mention it — so CNF size is
+     independent of how often a pattern recurs (and exactly predictable
+     by Encoding_stats) *)
+  (match emit with
+  | None -> ()
+  | Some ctx ->
+      for v = 0 to n - 1 do
+        for value = 0 to csp.Csp.k - 1 do
+          match layout.Layout.patterns.(value) with
+          | [] | [ _ ] -> ()
+          | pattern -> ignore (Emit.conj ctx Emit.Neg (lits_of_pattern t v pattern))
+        done
+      done);
   (* conflict clauses: one per edge per common domain value *)
   G.Graph.iter_edges
     (fun u v ->
       for value = 0 to csp.Csp.k - 1 do
-        let p = layout.Layout.patterns.(value) in
-        Sat.Cnf.start_clause cnf;
-        push_negated t u p;
-        push_negated t v p;
-        Sat.Cnf.commit_clause cnf
+        match emit with
+        | None ->
+            let p = layout.Layout.patterns.(value) in
+            Sat.Cnf.start_clause cnf;
+            push_negated t u p;
+            push_negated t v p;
+            Sat.Cnf.commit_clause cnf
+        | Some ctx -> (
+            match (selection_lit t ctx u value, selection_lit t ctx v value) with
+            | Some du, Some dv ->
+                Sat.Cnf.start_clause cnf;
+                Sat.Cnf.push_lit cnf (Sat.Lit.negate du);
+                Sat.Cnf.push_lit cnf (Sat.Lit.negate dv);
+                Sat.Cnf.commit_clause cnf
+            | _ ->
+                (* empty pattern: the value is always selected, so the
+                   conflict is the empty clause — same as flat emission *)
+                Sat.Cnf.start_clause cnf;
+                Sat.Cnf.commit_clause cnf)
       done)
     t.csp.Csp.graph;
   (* symmetry-breaking clauses *)
@@ -64,11 +110,27 @@ let encode ?symmetry encoding csp =
   | Some h ->
       List.iter
         (fun (v, colour) ->
-          Sat.Cnf.start_clause cnf;
-          push_negated t v layout.Layout.patterns.(colour);
-          Sat.Cnf.commit_clause cnf)
+          match emit with
+          | None ->
+              Sat.Cnf.start_clause cnf;
+              push_negated t v layout.Layout.patterns.(colour);
+              Sat.Cnf.commit_clause cnf
+          | Some ctx ->
+              Sat.Cnf.start_clause cnf;
+              (match selection_lit t ctx v colour with
+              | Some d -> Sat.Cnf.push_lit cnf (Sat.Lit.negate d)
+              | None -> ());
+              Sat.Cnf.commit_clause cnf)
         (Symmetry.forbidden h csp.Csp.graph ~k:csp.Csp.k));
   t
+
+let definition t v value =
+  match t.emit with
+  | None -> None
+  | Some ctx -> (
+      match t.layout.Layout.patterns.(value) with
+      | [] | [ _ ] -> None
+      | pattern -> Emit.find ctx Emit.Neg (lits_of_pattern t v pattern))
 
 exception No_selected_value of int
 

@@ -1,0 +1,128 @@
+module Sat = Fpgasat_sat
+
+type polarity = Pos | Neg | Both
+
+type entry = {
+  var : Sat.Lit.var;
+  mutable pos_done : bool;
+  mutable neg_done : bool;
+}
+
+type t = {
+  cnf : Sat.Cnf.t;
+  table : (int list, entry) Hashtbl.t;
+  mutable true_lit : Sat.Lit.t option;
+  mutable num_defs : int;
+  mutable def_clauses : int;
+  mutable def_literals : int;
+}
+
+type stats = { defs : int; clauses : int; literals : int }
+
+let create cnf =
+  {
+    cnf;
+    table = Hashtbl.create 64;
+    true_lit = None;
+    num_defs = 0;
+    def_clauses = 0;
+    def_literals = 0;
+  }
+
+let stats t =
+  { defs = t.num_defs; clauses = t.def_clauses; literals = t.def_literals }
+
+let wants_pos = function Pos | Both -> true | Neg -> false
+let wants_neg = function Neg | Both -> true | Pos -> false
+
+(* Canonical cache key: sorted, deduplicated literals. The caller is
+   expected not to pass complementary literals (a contradictory
+   conjunction); that is rejected rather than encoded as constant false. *)
+let key lits =
+  let sorted = List.sort_uniq Sat.Lit.compare lits in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if Sat.Lit.var a = Sat.Lit.var b then
+          invalid_arg "Emit.conj: complementary literals"
+        else check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
+
+let record_clause t len =
+  t.def_clauses <- t.def_clauses + 1;
+  t.def_literals <- t.def_literals + len
+
+(* d -> conj: one binary clause (~d | l) per conjunct. *)
+let emit_pos t d lits =
+  List.iter
+    (fun l ->
+      Sat.Cnf.start_clause t.cnf;
+      Sat.Cnf.push_lit t.cnf (Sat.Lit.neg_of d);
+      Sat.Cnf.push_lit t.cnf l;
+      Sat.Cnf.commit_clause t.cnf;
+      record_clause t 2)
+    lits
+
+(* conj -> d: one clause (~l1 | ... | ~ln | d). *)
+let emit_neg t d lits =
+  Sat.Cnf.start_clause t.cnf;
+  List.iter (fun l -> Sat.Cnf.push_lit t.cnf (Sat.Lit.negate l)) lits;
+  Sat.Cnf.push_lit t.cnf (Sat.Lit.pos d);
+  Sat.Cnf.commit_clause t.cnf;
+  record_clause t (List.length lits + 1)
+
+let constant_true t =
+  match t.true_lit with
+  | Some l -> l
+  | None ->
+      let v = Sat.Cnf.fresh_var t.cnf in
+      Sat.Cnf.start_clause t.cnf;
+      Sat.Cnf.push_lit t.cnf (Sat.Lit.pos v);
+      Sat.Cnf.commit_clause t.cnf;
+      t.num_defs <- t.num_defs + 1;
+      record_clause t 1;
+      let l = Sat.Lit.pos v in
+      t.true_lit <- Some l;
+      l
+
+let conj t polarity lits =
+  match key lits with
+  | [] -> constant_true t
+  | [ l ] -> l
+  | lits -> (
+      let upgrade e =
+        if wants_pos polarity && not e.pos_done then begin
+          emit_pos t e.var lits;
+          e.pos_done <- true
+        end;
+        if wants_neg polarity && not e.neg_done then begin
+          emit_neg t e.var lits;
+          e.neg_done <- true
+        end;
+        Sat.Lit.pos e.var
+      in
+      match Hashtbl.find_opt t.table lits with
+      | Some e -> upgrade e
+      | None ->
+          let e =
+            { var = Sat.Cnf.fresh_var t.cnf; pos_done = false; neg_done = false }
+          in
+          Hashtbl.add t.table lits e;
+          t.num_defs <- t.num_defs + 1;
+          upgrade e)
+
+let find t polarity lits =
+  match key lits with
+  | [] -> t.true_lit
+  | [ l ] -> Some l
+  | lits -> (
+      match Hashtbl.find_opt t.table lits with
+      | None -> None
+      | Some e ->
+          let covered =
+            ((not (wants_pos polarity)) || e.pos_done)
+            && ((not (wants_neg polarity)) || e.neg_done)
+          in
+          if covered then Some (Sat.Lit.pos e.var) else None)

@@ -1,0 +1,55 @@
+(** Polarity-aware definitional emission with structural hashing.
+
+    An encode-time context that turns conjunctions of literals into fresh
+    {e definition} variables, after ToySolver's Tseitin encoder: each
+    distinct conjunction (hash-consed on its sorted literal set) gets one
+    auxiliary variable shared by every later request, and the defining
+    clauses follow Plaisted–Greenbaum polarity, so only the implication
+    directions a use site actually needs are emitted.
+
+    For a definition [d] of the conjunction [l1 & ... & ln]:
+
+    - a {e positive} occurrence of the conjunction (the literal [d] appears
+      positively where the conjunction stood) needs [d -> l1 & ... & ln]:
+      [n] binary clauses [(~d | li)];
+    - a {e negative} occurrence (the clause contains [~d]) needs
+      [l1 & ... & ln -> d]: one clause [(~l1 | ... | ~ln | d)].
+
+    Requesting a cached definition under a wider polarity emits only the
+    missing direction — definitions upgrade monotonically and are never
+    duplicated. All clauses go straight into the context's {!Fpgasat_sat.Cnf.t}
+    through the allocation-free clause builder.
+
+    {!Csp_encode} drives this for [+defs] encodings: every (vertex, value)
+    indexing pattern becomes a negative-polarity definition, so edge
+    conflict clauses collapse to binary [(~d_u | ~d_v)] and symmetry /
+    width-selector clauses reuse the same definitions. *)
+
+type polarity = Pos | Neg | Both
+(** Which occurrence polarities the requested definition must cover.
+    [Pos] emits [d -> conj], [Neg] emits [conj -> d], [Both] emits both. *)
+
+type t
+(** An emission context bound to one CNF under construction. *)
+
+val create : Fpgasat_sat.Cnf.t -> t
+
+val conj : t -> polarity -> Fpgasat_sat.Lit.t list -> Fpgasat_sat.Lit.t
+(** [conj t polarity lits] is a literal equisatisfiably standing for the
+    conjunction of [lits] at the given occurrence polarity.
+
+    The empty conjunction yields a cached constant-true literal (defined by
+    one unit clause); a singleton is returned as-is (no auxiliary
+    variable); anything longer is hash-consed. Raises [Invalid_argument]
+    if [lits] contains complementary literals. *)
+
+val find : t -> polarity -> Fpgasat_sat.Lit.t list -> Fpgasat_sat.Lit.t option
+(** [find t polarity lits] is the cached definition literal for [lits], if
+    one exists {e and} its emitted clauses already cover [polarity] — a
+    pure lookup, never emits. Singletons are returned as-is. *)
+
+type stats = { defs : int; clauses : int; literals : int }
+(** Auxiliary variables allocated, defining clauses emitted, and total
+    literals across those clauses. *)
+
+val stats : t -> stats

@@ -1,4 +1,6 @@
-type t =
+type emission = Flat | Definitional
+
+type shape =
   | Simple of Simple_encoding.kind
   | Hier of {
       top : Simple_encoding.kind;
@@ -11,11 +13,25 @@ type t =
       bottom : Simple_encoding.kind;
     }
 
-let hier ?(shared = true) ~top ~top_vars ~bottom () =
-  Hier { top; top_vars; bottom; shared }
+type t = { shape : shape; emission : emission }
+
+let simple ?(emission = Flat) kind = { shape = Simple kind; emission }
+
+let hier ?(shared = true) ?(emission = Flat) ~top ~top_vars ~bottom () =
+  { shape = Hier { top; top_vars; bottom; shared }; emission }
+
+let multi ?(emission = Flat) ~levels ~bottom () =
+  { shape = Multi { levels; bottom }; emission }
+
+let shape t = t.shape
+let emission t = t.emission
+let with_emission emission t = { t with emission }
+let flat t = { t with emission = Flat }
+let defs t = { t with emission = Definitional }
+let is_definitional t = t.emission = Definitional
 
 let layout t k =
-  match t with
+  match t.shape with
   | Simple kind -> Simple_encoding.layout kind k
   | Hier { top; top_vars; bottom; shared } ->
       Hierarchy.compose ~shared ~top ~top_vars ~bottom k
@@ -27,7 +43,7 @@ let display_kind = function
   | Simple_encoding.Ite_log -> "ITE-log"
   | k -> Simple_encoding.kind_name k
 
-let name = function
+let shape_name = function
   | Simple kind -> display_kind kind
   | Hier { top; top_vars; bottom; shared } ->
       Printf.sprintf "%s-%d+%s%s" (display_kind top) top_vars
@@ -40,8 +56,19 @@ let name = function
            levels)
       ^ "+" ^ display_kind bottom
 
+let emission_suffix = "+defs"
+
+let name t =
+  shape_name t.shape
+  ^ match t.emission with Flat -> "" | Definitional -> emission_suffix
+
 let of_name s =
   let s = String.lowercase_ascii (String.trim s) in
+  let s, emission =
+    match Filename.check_suffix s emission_suffix with
+    | true -> (Filename.chop_suffix s emission_suffix, Definitional)
+    | false -> (s, Flat)
+  in
   let parse_top part =
     (* "<kind>-<n>" where <kind> may itself contain dashes *)
     match String.rindex_opt part '-' with
@@ -58,15 +85,16 @@ let of_name s =
     | true -> (Filename.chop_suffix s "!unshared", false)
     | false -> (s, true)
   in
+  let mk shape = Ok { shape; emission } in
   match String.split_on_char '+' s with
   | [ simple ] -> (
       match Simple_encoding.kind_of_name simple with
-      | Some kind -> Ok (Simple kind)
+      | Some kind -> mk (Simple kind)
       | None -> Error (Printf.sprintf "unknown encoding %S" s))
   | [ top_part; bottom_part ] -> (
       match (parse_top top_part, Simple_encoding.kind_of_name bottom_part) with
       | Some (top, top_vars), Some bottom ->
-          Ok (Hier { top; top_vars; bottom; shared })
+          mk (Hier { top; top_vars; bottom; shared })
       | _ -> Error (Printf.sprintf "unknown hierarchical encoding %S" s))
   | parts -> (
       (* three or more levels: every part but the last is "<kind>-<n>" *)
@@ -79,7 +107,7 @@ let of_name s =
       let levels = List.map parse_top level_parts in
       match (Simple_encoding.kind_of_name bottom_part, shared) with
       | Some bottom, true when List.for_all Option.is_some levels ->
-          Ok (Multi { levels = List.map Option.get levels; bottom })
+          mk (Multi { levels = List.map Option.get levels; bottom })
       | _ -> Error (Printf.sprintf "unknown multi-level encoding %S" s))
 
 let compare a b = Stdlib.compare a b

@@ -43,11 +43,16 @@ let table2 =
     e "direct-3+muldirect";
   ]
 
-let find name =
-  match Encoding.of_name name with
-  | Error _ as err -> err
-  | Ok enc ->
-      if List.exists (fun known -> Encoding.compare known enc = 0) all then Ok enc
-      else
-        (* accept anything parseable — users may explore beyond the paper *)
-        Ok enc
+let defs_variants = List.map Encoding.defs
+let all_emissions = all @ defs_variants all
+
+let in_registry enc =
+  let shape = Encoding.flat enc in
+  List.exists
+    (fun known -> Encoding.compare known shape = 0)
+    (all @ multi_level_extensions)
+
+(* Anything parseable is accepted — users may explore beyond the paper's
+   registry (mixed hierarchies, unshared ablations, +defs emission).
+   {!in_registry} is the membership test for callers that care. *)
+let find name = Encoding.of_name name

@@ -24,5 +24,19 @@ val multi_level_extensions : Encoding.t list
 val table2 : Encoding.t list
 (** The seven encodings whose columns appear in Table 2. *)
 
+val defs_variants : Encoding.t list -> Encoding.t list
+(** The same shapes under definitional ([+defs]) emission. *)
+
+val all_emissions : Encoding.t list
+(** Every registry encoding in both emission modes: {!all} (flat, the
+    paper's emission) followed by its [+defs] variants (30 total). *)
+
+val in_registry : Encoding.t -> bool
+(** Whether the encoding's shape is one the repository tracks — {!all} or
+    {!multi_level_extensions} — in either emission mode. *)
+
 val find : string -> (Encoding.t, string) result
-(** {!Encoding.of_name} plus a check that the result is one of {!all}. *)
+(** {!Encoding.of_name}: any parseable name is accepted, registry member
+    or not, so users can explore beyond the paper (mixed hierarchies,
+    unshared ablations, [+defs] emission). Use {!in_registry} to test
+    membership. *)

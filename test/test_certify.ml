@@ -125,6 +125,78 @@ let prop_random_routes_certify =
         (List.sort_uniq compare [ max 1 (ub - 1); ub ]);
       true)
 
+(* Differential emission fuzz: flat and +defs emission of every registry
+   encoding must agree on SAT/UNSAT and on w_min, and --certify must hold
+   for both — DRAT proofs range over the aux variables, the model check
+   decodes from the slot variables and ignores them. *)
+let test_defs_vs_flat_differential () =
+  let route = random_route 11 in
+  let graph = F.Conflict_graph.build route in
+  let ub = G.Greedy.upper_bound graph in
+  let widths = List.sort_uniq compare [ max 1 (ub - 1); ub ] in
+  List.iter
+    (fun encoding ->
+      let flat = Strategy.make encoding in
+      let defs = Strategy.with_defs flat in
+      List.iter
+        (fun width ->
+          let of_outcome = function
+            | Flow.Routable _ -> Some true
+            | Flow.Unroutable -> Some false
+            | Flow.Timeout | Flow.Memout -> None
+          in
+          let a = check_cell ~route ~graph ~strategy:flat ~width in
+          let b = check_cell ~route ~graph ~strategy:defs ~width in
+          match (of_outcome a, of_outcome b) with
+          | Some x, Some y ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s w=%d: emissions agree"
+                   (E.Encoding.name encoding) width)
+                true (x = y)
+          | _ -> ())
+        widths)
+    E.Registry.all
+
+(* w_min through the incremental-width ladder, whose selector clauses ride
+   on the +defs definitions when present. *)
+let test_defs_vs_flat_w_min () =
+  let route = random_route 5 in
+  let graph = F.Conflict_graph.build route in
+  List.iter
+    (fun encoding ->
+      let w_min strategy =
+        match C.Incremental_width.minimal_colors ~strategy graph with
+        | Ok r -> r.C.Incremental_width.w_min
+        | Error m ->
+            Alcotest.fail
+              (Printf.sprintf "%s: incremental search failed: %s"
+                 (Strategy.name strategy) m)
+      in
+      let flat = Strategy.make encoding in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: w_min matches across emissions"
+           (E.Encoding.name encoding))
+        (w_min flat)
+        (w_min (Strategy.with_defs flat)))
+    E.Registry.all
+
+let prop_defs_random_routes_certify =
+  QCheck2.Test.make ~count:10
+    ~name:"random routes certify under +defs registry strategies"
+    QCheck2.Gen.(pair (int_range 0 1000) (int_range 0 1000))
+    (fun (seed, pick) ->
+      let route = random_route seed in
+      let graph = F.Conflict_graph.build route in
+      let ub = G.Greedy.upper_bound graph in
+      let encoding =
+        List.nth E.Registry.all (pick mod List.length E.Registry.all)
+      in
+      let strategy = Strategy.with_defs (Strategy.make encoding) in
+      List.iter
+        (fun width -> ignore (check_cell ~route ~graph ~strategy ~width))
+        (List.sort_uniq compare [ max 1 (ub - 1); ub ]);
+      true)
+
 (* Symmetry breaking must not break certification: s1 prunes models, so the
    certificate path has to hold with it enabled too. *)
 let test_certify_with_symmetry () =
@@ -139,7 +211,9 @@ let test_certify_with_symmetry () =
       ignore (check_cell ~route ~graph ~strategy ~width:(max 1 (ub - 1))))
     [ E.Symmetry.B1; E.Symmetry.S1 ]
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_random_routes_certify ]
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_routes_certify; prop_defs_random_routes_certify ]
 
 let () =
   Alcotest.run "certify"
@@ -150,6 +224,13 @@ let () =
             test_registry_differential;
           Alcotest.test_case "symmetry-broken runs certify" `Quick
             test_certify_with_symmetry;
+        ] );
+      ( "emission",
+        [
+          Alcotest.test_case "flat and +defs emissions agree and certify" `Slow
+            test_defs_vs_flat_differential;
+          Alcotest.test_case "w_min matches across emissions" `Slow
+            test_defs_vs_flat_w_min;
         ] );
       ("properties", qtests);
     ]
