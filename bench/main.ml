@@ -210,8 +210,10 @@ type cell = { seconds : float; timed_out : bool; outcome : Flow.outcome }
 let run_cell ?(width_delta = -1) pb strat =
   let width = pb.w_min + width_delta in
   let run =
-    Flow.check_width ~strategy:strat
-      ~budget:(Sat.Solver.time_budget !budget_seconds)
+    Flow.(
+      submit
+        (default_request |> with_strategy strat
+        |> with_budget (Sat.Solver.time_budget !budget_seconds)))
       pb.inst.F.Benchmarks.route ~width
   in
   match run.Flow.outcome with
@@ -987,7 +989,12 @@ let section_certify () =
         List.iter
           (fun width ->
             incr cells;
-            let run = Flow.check_width ~strategy:strat ~certify:true route ~width in
+            let run =
+              Flow.(
+                submit
+                  (default_request |> with_strategy strat |> with_certify true))
+                route ~width
+            in
             if run.Flow.certified = Some true then incr certified;
             let csp = E.Csp.make graph ~k:width in
             let encoded =
@@ -1352,8 +1359,12 @@ let perf_solve_cells () =
               handicap_budget (Sat.Solver.time_budget !budget_seconds)
             in
             let run =
-              Flow.check_width ~strategy:Strategy.best_single ~budget route
-                ~width
+              Flow.(
+                submit
+                  (default_request
+                  |> with_strategy Strategy.best_single
+                  |> with_budget budget))
+                route ~width
             in
             match run.Flow.outcome with
             | Flow.Timeout | Flow.Memout -> !budget_seconds

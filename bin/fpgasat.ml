@@ -18,6 +18,7 @@ module C = Fpgasat_core
 module Bdd = Fpgasat_bdd
 module Eng = Fpgasat_engine
 module Obs = Fpgasat_obs
+module Srv = Fpgasat_server
 open Cmdliner
 
 (* ---------- converters and shared arguments ---------- *)
@@ -227,11 +228,19 @@ let route_cmd =
     let inst = build_instance spec in
     let trace = Option.map (fun _ -> Obs.Trace.create ()) profile in
     let t0 = Unix.gettimeofday () in
-    let run =
-      C.Flow.check_width ~strategy:strat ~budget:(budget_of budget)
-        ~want_proof:(proof_file <> None)
-        ~telemetry:(profile <> None) ?trace inst.F.Benchmarks.route ~width
+    let request =
+      C.Flow.(
+        default_request |> with_strategy strat
+        |> with_budget (budget_of budget)
+        |> with_proof (proof_file <> None)
+        |> with_telemetry (profile <> None))
     in
+    let request =
+      match trace with
+      | None -> request
+      | Some tr -> C.Flow.with_trace tr request
+    in
+    let run = C.Flow.submit request inst.F.Benchmarks.route ~width in
     (match (profile, trace) with
     | Some path, Some tr ->
         let oc = open_out path in
@@ -962,7 +971,11 @@ let route_file_cmd =
 " path
         | None -> ());
         let run =
-          C.Flow.check_width ~strategy:strat ~budget:(budget_of budget) route ~width
+          C.Flow.(
+            submit
+              (default_request |> with_strategy strat
+              |> with_budget (budget_of budget)))
+            route ~width
         in
         match run.C.Flow.outcome with
         | C.Flow.Routable d ->
@@ -1117,6 +1130,157 @@ let color_cmd =
     (Cmd.info "color" ~doc:"K-colour a DIMACS .col graph via a SAT encoding.")
     Term.(ret (const run $ file_arg $ k_arg $ enc $ sym $ budget_arg $ method_arg))
 
+(* ---------- serve / client ---------- *)
+
+let socket_arg =
+  Arg.(value & opt string "/tmp/fpgasat.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N" ~doc:"Solver worker domains.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 16
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Max queued requests before answering $(i,overloaded).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 256
+         & info [ "cache" ] ~docv:"N" ~doc:"Answer-cache capacity (entries).")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 16
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Warm sessions kept (LRU beyond this).")
+  in
+  let max_seconds_arg =
+    Arg.(value & opt (some float) None
+         & info [ "max-seconds" ] ~docv:"SEC"
+             ~doc:"Server-side ceiling on any request's time budget.")
+  in
+  let max_memory_arg =
+    Arg.(value & opt (some int) None
+         & info [ "max-memory-mb" ] ~docv:"MB"
+             ~doc:"Server-side ceiling on any request's memory budget.")
+  in
+  let test_ops_arg =
+    Arg.(value & flag
+         & info [ "test-ops" ]
+             ~doc:"Enable the $(i,sleep) op (deterministic load for \
+                   overload/drain tests).")
+  in
+  let run socket workers queue cache sessions max_seconds max_memory_mb
+      test_ops =
+    let config =
+      {
+        (Srv.Server.default_config ~socket_path:socket) with
+        Srv.Server.workers;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        max_sessions = sessions;
+        max_seconds;
+        max_memory_mb;
+        test_ops;
+      }
+    in
+    Printf.eprintf "fpgasat: serving on %s (%d workers, queue %d)\n%!" socket
+      workers queue;
+    Srv.Server.run config;
+    Printf.eprintf "fpgasat: drained cleanly\n%!";
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the solve server: warm per-strategy solver sessions, an \
+          answer cache, admission control, graceful drain on SIGTERM or \
+          the $(i,shutdown) op.")
+    Term.(
+      ret
+        (const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
+       $ sessions_arg $ max_seconds_arg $ max_memory_arg $ test_ops_arg))
+
+let client_cmd =
+  let op_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"One of: route, min_width, ping, stats, shutdown.")
+  in
+  let bench_arg =
+    Arg.(value & pos 1 (some benchmark_conv) None
+         & info [] ~docv:"BENCHMARK" ~doc:"Benchmark (route, min_width).")
+  in
+  let width_opt_arg =
+    Arg.(value & opt (some int) None
+         & info [ "w"; "width" ] ~docv:"W" ~doc:"Tracks per channel (route).")
+  in
+  let strategy_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+             ~doc:"Strategy name; server default when absent.")
+  in
+  let certify_arg =
+    Arg.(value & flag
+         & info [ "certify" ]
+             ~doc:"Ask for an independently checked answer (cold path).")
+  in
+  let telemetry_arg =
+    Arg.(value & flag
+         & info [ "telemetry" ] ~doc:"Include telemetry in the run record.")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
+  in
+  let run socket op bench width strategy budget certify telemetry id =
+    let ( let* ) r f =
+      match r with Error m -> `Error (false, m) | Ok v -> f v
+    in
+    let* op =
+      match op with
+      | "route" -> Ok Srv.Protocol.Route
+      | "min_width" | "min-width" -> Ok Srv.Protocol.Min_width
+      | "ping" -> Ok Srv.Protocol.Ping
+      | "stats" -> Ok Srv.Protocol.Stats
+      | "shutdown" -> Ok Srv.Protocol.Shutdown
+      | other -> Error (Printf.sprintf "unknown op %S" other)
+    in
+    let benchmark =
+      match bench with
+      | Some (spec : F.Benchmarks.spec) -> spec.F.Benchmarks.name
+      | None -> ""
+    in
+    let* () =
+      match (op, benchmark, width) with
+      | Srv.Protocol.Route, "", _ -> Error "route needs a BENCHMARK"
+      | Srv.Protocol.Route, _, None -> Error "route needs --width"
+      | Srv.Protocol.Min_width, "", _ -> Error "min_width needs a BENCHMARK"
+      | _ -> Ok ()
+    in
+    let request =
+      Srv.Protocol.request ?id ?strategy ?max_seconds:budget ~certify
+        ~telemetry ~benchmark
+        ~width:(Option.value width ~default:0)
+        op
+    in
+    let* response = Srv.Client.one_shot ~socket request in
+    print_endline
+      (Obs.Json.to_string (Srv.Protocol.response_to_json response));
+    if response.Srv.Protocol.status = Srv.Protocol.Done then `Ok ()
+    else `Error (false, "request did not complete")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running solve server and print the JSON \
+          response line.")
+    Term.(
+      ret
+        (const run $ socket_arg $ op_arg $ bench_arg $ width_opt_arg
+       $ strategy_opt_arg $ budget_arg $ certify_arg $ telemetry_arg $ id_arg))
+
 (* ---------- main ---------- *)
 
 let () =
@@ -1129,5 +1293,6 @@ let () =
           [
             list_cmd; info_cmd; export_cmd; encode_cmd; route_cmd; min_width_cmd;
             portfolio_cmd; sweep_cmd; report_cmd; trace_cmd; certify_cmd;
-            solve_cmd; color_cmd; render_cmd; route_file_cmd;
+            solve_cmd; color_cmd; render_cmd; route_file_cmd; serve_cmd;
+            client_cmd;
           ]))

@@ -47,9 +47,11 @@ let () =
     (fun e ->
       let strat = C.Strategy.make ~symmetry:E.Symmetry.S1 e in
       let run =
-        C.Flow.check_width ~strategy:strat
-          ~budget:(Sat.Solver.time_budget 60.) inst.F.Benchmarks.route
-          ~width:(w - 1)
+        C.Flow.(
+          submit
+            (default_request |> with_strategy strat
+            |> with_budget (Sat.Solver.time_budget 60.)))
+          inst.F.Benchmarks.route ~width:(w - 1)
       in
       let outcome =
         match run.C.Flow.outcome with

@@ -29,7 +29,11 @@ let () =
   (* lone run of the best single strategy *)
   let t0 = Unix.gettimeofday () in
   let single =
-    C.Flow.check_width ~strategy:C.Strategy.best_single ~budget
+    C.Flow.(
+      submit
+        (default_request
+        |> with_strategy C.Strategy.best_single
+        |> with_budget budget))
       inst.F.Benchmarks.route ~width:(w - 1)
   in
   let single_wall = Unix.gettimeofday () -. t0 in

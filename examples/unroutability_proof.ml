@@ -64,7 +64,11 @@ let () =
 
   (* artefact 3: the DRAT refutation *)
   let run =
-    C.Flow.check_width ~strategy:C.Strategy.best_single ~budget ~want_proof:true
+    C.Flow.(
+      submit
+        (default_request
+        |> with_strategy C.Strategy.best_single
+        |> with_budget budget |> with_proof true))
       inst.F.Benchmarks.route ~width:(w - 1)
   in
   (match (run.C.Flow.outcome, run.C.Flow.proof) with

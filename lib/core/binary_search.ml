@@ -12,9 +12,16 @@ let minimal_width ?strategy ?budget route =
   let graph = F.Conflict_graph.build route in
   let lower = max 1 (G.Clique.lower_bound graph) in
   let upper = max lower (G.Greedy.upper_bound graph) in
+  let request =
+    let r = Flow.default_request in
+    let r =
+      match strategy with None -> r | Some s -> Flow.with_strategy s r
+    in
+    match budget with None -> r | Some b -> Flow.with_budget b r
+  in
   let runs = ref [] in
   let check width =
-    let run = Flow.check_width ?strategy ?budget route ~width in
+    let run = Flow.submit request route ~width in
     runs := run :: !runs;
     run
   in

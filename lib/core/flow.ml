@@ -112,10 +112,39 @@ let color_graph ?(strategy = Strategy.best_single)
   in
   (answer, { to_graph; to_cnf; solving })
 
-let check_width ?(strategy = Strategy.best_single)
-    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
-    ?(telemetry = false) ?trace ?(backend = `Cdcl) route ~width =
-  if width < 1 then invalid_arg "Flow.check_width: width < 1";
+type request = {
+  strategy : Strategy.t;
+  budget : Sat.Solver.budget;
+  want_proof : bool;
+  certify : bool;
+  telemetry : bool;
+  trace : Obs.Trace.t option;
+  backend : [ `Cdcl | `Dpll ];
+}
+
+let default_request =
+  {
+    strategy = Strategy.best_single;
+    budget = Sat.Solver.no_budget;
+    want_proof = false;
+    certify = false;
+    telemetry = false;
+    trace = None;
+    backend = `Cdcl;
+  }
+
+let with_strategy strategy r = { r with strategy }
+let with_budget budget r = { r with budget }
+let with_proof want_proof r = { r with want_proof }
+let with_certify certify r = { r with certify }
+let with_telemetry telemetry r = { r with telemetry }
+let with_trace trace r = { r with trace = Some trace }
+let with_backend backend r = { r with backend }
+
+let submit
+    { strategy; budget; want_proof; certify; telemetry; trace; backend } route
+    ~width =
+  if width < 1 then invalid_arg "Flow.submit: width < 1";
   (* an attached trace takes over the budget's event hook: the run's
      lifecycle is exactly what the profile is for *)
   let budget =
@@ -197,3 +226,12 @@ let check_width ?(strategy = Strategy.best_single)
     certified;
     telemetry;
   }
+
+(* Deprecated thin wrapper (one release): the optional-argument surface
+   that [request] replaced. *)
+let check_width ?(strategy = Strategy.best_single)
+    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
+    ?(telemetry = false) ?trace ?(backend = `Cdcl) route ~width =
+  submit
+    { strategy; budget; want_proof; certify; telemetry; trace; backend }
+    route ~width

@@ -59,6 +59,63 @@ exception Decode_mismatch of string
 (** A SAT model failed to decode into a proper colouring or a legal detailed
     routing — would indicate an encoding bug; never expected. *)
 
+(** {1 Requests}
+
+    Everything a width query can be asked to do, as one value. This is the
+    unit of work the solve server receives over the wire, the sweep engine
+    schedules, and the CLI builds from its flags — instead of a growing
+    list of optional arguments on every entry point. Build one with
+    {!default_request} and the [with_*] combinators:
+
+    {[
+      Flow.(
+        default_request |> with_strategy s |> with_certify true
+        |> with_budget (Sat.Solver.time_budget 5.))
+    ]} *)
+
+type request = {
+  strategy : Strategy.t;  (** Default {!Strategy.best_single}. *)
+  budget : Fpgasat_sat.Solver.budget;  (** Applies to the SAT search. *)
+  want_proof : bool;
+      (** Record a DRAT trace on UNSAT ([certify] implies it). *)
+  certify : bool;
+      (** Independently check the answer — UNSAT proofs through
+          {!Fpgasat_sat.Drat_check}, models through
+          {!Fpgasat_sat.Solver.check_model} plus
+          {!Fpgasat_fpga.Detailed_route.verify}; see {!field-run.certified}. *)
+  telemetry : bool;
+      (** Derive {!field-run.telemetry} (throughput rates, LBD histogram,
+          allocation); the only cost is two [Gc.allocated_bytes] reads. *)
+  trace : Fpgasat_obs.Trace.t option;
+      (** Record the run's lifecycle — a solve span plus solver events via
+          {!Fpgasat_obs.Trace.sink}, which replaces any [on_event] hook
+          already on the budget. *)
+  backend : [ `Cdcl | `Dpll ];
+      (** [`Dpll] runs the plain DPLL solver instead of CDCL — the last
+          rung of the sweep supervisor's fallback ladder. DPLL honours only
+          [budget.max_conflicts] (as a decision bound, default 2M) and
+          records no proof, so a certified UNSAT answer is impossible
+          ([certified = Some false] when requested); SAT answers still
+          certify via model checking. *)
+}
+
+val default_request : request
+(** {!Strategy.best_single}, no budget, no proof, no certification, no
+    telemetry, no trace, [`Cdcl]. *)
+
+val with_strategy : Strategy.t -> request -> request
+val with_budget : Fpgasat_sat.Solver.budget -> request -> request
+val with_proof : bool -> request -> request
+val with_certify : bool -> request -> request
+val with_telemetry : bool -> request -> request
+val with_trace : Fpgasat_obs.Trace.t -> request -> request
+val with_backend : [ `Cdcl | `Dpll ] -> request -> request
+
+val submit : request -> Fpgasat_fpga.Global_route.t -> width:int -> run
+(** Decides detailed routability of a global routing with [width] tracks,
+    as specified by the request. Raises [Invalid_argument] when
+    [width < 1]. *)
+
 val check_width :
   ?strategy:Strategy.t ->
   ?budget:Fpgasat_sat.Solver.budget ->
@@ -70,24 +127,10 @@ val check_width :
   Fpgasat_fpga.Global_route.t ->
   width:int ->
   run
-(** Decides detailed routability of a global routing with [width] tracks.
-    Default strategy: {!Strategy.best_single}. With [~certify:true] (default
-    false) a proof is recorded regardless of [want_proof] and the answer is
-    independently checked — see {!field-run.certified}.
-
-    With [~telemetry:true] (default false) the run additionally carries
-    {!field-run.telemetry} (throughput rates, LBD histogram, allocation);
-    the only cost is two [Gc.allocated_bytes] reads. An attached [trace]
-    records the run's lifecycle — a solve span plus solver events via
-    {!Fpgasat_obs.Trace.sink}, which replaces any [on_event] hook already
-    on the budget.
-
-    [backend] (default [`Cdcl]) selects the solver. [`Dpll] runs the plain
-    DPLL solver instead — the last rung of the sweep supervisor's fallback
-    ladder for cells that crash or memout under CDCL. DPLL honours only
-    [budget.max_conflicts] (as a decision bound, default 2M) and records no
-    proof, so a certified UNSAT answer is impossible ([certified = Some
-    false] when requested); SAT answers still certify via model checking. *)
+[@@ocaml.deprecated
+  "build a Flow.request (default_request |> with_*) and call Flow.submit"]
+(** @deprecated Thin wrapper over {!submit}: each optional argument fills
+    the corresponding {!request} field. Kept for one release. *)
 
 val color_graph :
   ?strategy:Strategy.t ->

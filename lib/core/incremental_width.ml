@@ -2,15 +2,19 @@ module Sat = Fpgasat_sat
 module G = Fpgasat_graph
 module E = Fpgasat_encodings
 
-type search_result = {
-  w_min : int;
-  coloring : G.Coloring.t;
-  queries : int;
-  stats : Sat.Stats.t;
+type ladder = {
+  strategy : Strategy.t;
+  csp : E.Csp.t;
+  encoded : E.Csp_encode.t;
+  solver : Sat.Solver.solver;
+  selectors : Sat.Lit.var array;
+  lower : int;
+  upper : int;
+  cnf_hash : int64;
+  mutable queries : int;
 }
 
-let minimal_colors ?(strategy = Strategy.best_single)
-    ?(budget = Sat.Solver.no_budget) graph =
+let prepare ?(strategy = Strategy.best_single) graph =
   let lower = max 1 (G.Clique.lower_bound graph) in
   let upper = max lower (G.Greedy.upper_bound graph) in
   let csp = E.Csp.make graph ~k:upper in
@@ -40,43 +44,82 @@ let minimal_colors ?(strategy = Strategy.best_single)
     done
   done;
   let solver = Sat.Solver.create ~config:strategy.Strategy.solver cnf in
-  let queries = ref 0 in
-  let query w =
-    incr queries;
-    let assumptions =
-      List.init (upper - w) (fun i -> Sat.Lit.pos selectors.(w + i))
-    in
-    Sat.Solver.solve_with ~budget ~assumptions solver
+  {
+    strategy;
+    csp;
+    encoded;
+    solver;
+    selectors;
+    lower;
+    upper;
+    cnf_hash = Sat.Cnf.structural_hash encoded.E.Csp_encode.cnf;
+    queries = 0;
+  }
+
+let bounds ladder = (ladder.lower, ladder.upper)
+let queries ladder = ladder.queries
+let stats ladder = Sat.Solver.solver_stats ladder.solver
+let strategy ladder = ladder.strategy
+let cnf_hash ladder = ladder.cnf_hash
+
+let cnf_size ladder =
+  let cnf = ladder.encoded.E.Csp_encode.cnf in
+  (Sat.Cnf.num_vars cnf, Sat.Cnf.num_clauses cnf)
+
+let query ?(budget = Sat.Solver.no_budget) ladder ~width =
+  if width < 1 then invalid_arg "Incremental_width.query: width < 1";
+  (* the formula is sized at the DSATUR upper bound; any larger width is
+     equivalent (a colouring within [upper] colours fits it a fortiori) *)
+  let w = min width ladder.upper in
+  ladder.queries <- ladder.queries + 1;
+  let assumptions =
+    List.init (ladder.upper - w) (fun i ->
+        Sat.Lit.pos ladder.selectors.(w + i))
   in
-  (* walk downward; a model using fewer colours lets us skip widths *)
-  let rec walk w best =
-    if w < lower then
-      match best with
-      | Some coloring -> Ok (w + 1, coloring)
-      | None -> Error "internal error: no colouring recorded"
-    else
-      match query w with
-      | Sat.Solver.Q_unsat -> (
+  match Sat.Solver.solve_with ~budget ~assumptions ladder.solver with
+  | Sat.Solver.Q_unsat -> `Uncolorable
+  | Sat.Solver.Q_unknown -> `Timeout
+  | Sat.Solver.Q_memout -> `Memout
+  | Sat.Solver.Q_sat model ->
+      let coloring = E.Csp_encode.decode ladder.encoded model in
+      if not (E.Csp.solution_ok ladder.csp coloring) then
+        raise
+          (Flow.Decode_mismatch
+             "incremental query: decoded colouring is not proper")
+      else `Colorable coloring
+
+type search_result = {
+  w_min : int;
+  coloring : G.Coloring.t;
+  queries : int;
+  stats : Sat.Stats.t;
+}
+
+let minimal_colors ?strategy ?(budget = Sat.Solver.no_budget) graph =
+  match prepare ?strategy graph with
+  | exception Invalid_argument m -> Error m
+  | ladder -> (
+      (* walk downward; a model using fewer colours lets us skip widths *)
+      let rec walk w best =
+        if w < ladder.lower then
           match best with
           | Some coloring -> Ok (w + 1, coloring)
-          | None -> Error "DSATUR width came out uncolourable")
-      | Sat.Solver.Q_unknown -> Error "budget exhausted during width search"
-      | Sat.Solver.Q_memout -> Error "memory budget exhausted during width search"
-      | Sat.Solver.Q_sat model ->
-          let coloring = E.Csp_encode.decode encoded model in
-          if not (E.Csp.solution_ok csp coloring) then
-            Error "decoded colouring failed verification"
-          else
-            let used = G.Coloring.num_colors coloring in
-            walk (min (w - 1) (used - 1)) (Some coloring)
-  in
-  match walk upper None with
-  | Error _ as err -> err
-  | Ok (w_min, coloring) ->
-      Ok
-        {
-          w_min;
-          coloring;
-          queries = !queries;
-          stats = Sat.Solver.solver_stats solver;
-        }
+          | None -> Error "internal error: no colouring recorded"
+        else
+          match query ~budget ladder ~width:w with
+          | exception Flow.Decode_mismatch _ ->
+              Error "decoded colouring failed verification"
+          | `Uncolorable -> (
+              match best with
+              | Some coloring -> Ok (w + 1, coloring)
+              | None -> Error "DSATUR width came out uncolourable")
+          | `Timeout -> Error "budget exhausted during width search"
+          | `Memout -> Error "memory budget exhausted during width search"
+          | `Colorable coloring ->
+              let used = G.Coloring.num_colors coloring in
+              walk (min (w - 1) (used - 1)) (Some coloring)
+      in
+      match walk ladder.upper None with
+      | Error _ as err -> err
+      | Ok (w_min, coloring) ->
+          Ok { w_min; coloring; queries = ladder.queries; stats = stats ladder })

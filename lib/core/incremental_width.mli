@@ -12,6 +12,58 @@
     This is an engineering extension beyond the paper (which re-translated
     per configuration); the bench compares the two searches. *)
 
+(** {1 The width ladder}
+
+    The encode-once-query-many substrate, exposed on its own so callers
+    with their own query schedule can share it: {!minimal_colors} walks it
+    downward, and the solve server keeps one ladder {e warm} per
+    (benchmark × strategy) session, answering repeated width queries
+    without re-encoding. *)
+
+type ladder
+(** An encoded colouring problem with its persistent solver and colour
+    selectors. Not thread-safe: callers serialise access (the server holds
+    one mutex per session). *)
+
+val prepare : ?strategy:Strategy.t -> Fpgasat_graph.Graph.t -> ladder
+(** Encodes the graph once at the DSATUR upper bound (cold cost); every
+    subsequent {!query} is an assumption-only call on the shared solver. *)
+
+val query :
+  ?budget:Fpgasat_sat.Solver.budget ->
+  ladder ->
+  width:int ->
+  [ `Colorable of Fpgasat_graph.Coloring.t | `Uncolorable | `Timeout | `Memout ]
+(** Is the graph colourable with [width] colours? The budget applies to
+    this query alone; learnt clauses persist across queries. Widths above
+    the ladder's upper bound are answered at the upper bound (equivalent:
+    a colouring within fewer colours fits a fortiori). Raises
+    [Invalid_argument] when [width < 1] and {!Flow.Decode_mismatch} if a
+    model fails to decode into a proper colouring. *)
+
+val bounds : ladder -> int * int
+(** [(lower, upper)]: the clique lower bound and DSATUR upper bound the
+    ladder was built with. *)
+
+val queries : ladder -> int
+(** Queries answered so far. *)
+
+val stats : ladder -> Fpgasat_sat.Stats.t
+(** The shared solver's cumulative statistics — snapshot around a {!query}
+    to attribute per-query work. *)
+
+val strategy : ladder -> Strategy.t
+
+val cnf_hash : ladder -> int64
+(** {!Fpgasat_sat.Cnf.structural_hash} of the encoded problem CNF (before
+    selector augmentation) — the content part of the server's answer-cache
+    key. *)
+
+val cnf_size : ladder -> int * int
+(** [(vars, clauses)] of the encoded problem CNF, for run records. *)
+
+(** {1 Minimal-width search} *)
+
 type search_result = {
   w_min : int;
   coloring : Fpgasat_graph.Coloring.t;  (** A proper [w_min]-colouring. *)
@@ -25,4 +77,5 @@ val minimal_colors :
   Fpgasat_graph.Graph.t ->
   (search_result, string) result
 (** Minimal number of colours of a conflict graph (= minimal channel width
-    of the routing it came from). The budget applies per query. *)
+    of the routing it came from), walking a {!ladder} downward. The budget
+    applies per query. *)

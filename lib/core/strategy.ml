@@ -52,7 +52,7 @@ let of_name s =
               | None -> Error (Printf.sprintf "unknown symmetry heuristic %S" other)) ))
   in
   let* symmetry = symmetry in
-  let* encoding = E.Registry.find enc_str in
+  let* encoding = E.Registry.of_name enc_str in
   Ok (make ?symmetry:(Option.map Fun.id symmetry) ~solver encoding)
 
 let enc name =

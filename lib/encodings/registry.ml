@@ -52,7 +52,36 @@ let in_registry enc =
     (fun known -> Encoding.compare known shape = 0)
     (all @ multi_level_extensions)
 
-(* Anything parseable is accepted — users may explore beyond the paper's
-   registry (mixed hierarchies, unshared ablations, +defs emission).
-   {!in_registry} is the membership test for callers that care. *)
-let find name = Encoding.of_name name
+(* Membership modulo the !unshared sharing ablation as well as emission:
+   the ablation of a registry shape is still a registry shape for strategy
+   resolution (the bench sweeps it). *)
+let reshared enc =
+  match Encoding.shape enc with
+  | Encoding.Hier { top; top_vars; bottom; shared = false } ->
+      Encoding.hier ~shared:true ~top ~top_vars ~bottom ()
+  | Encoding.Simple _ | Encoding.Hier _ | Encoding.Multi _ -> enc
+
+(* Total, validated resolution for the strategy layer (CLI -s, sweeps, the
+   solve server). The permissive any-parseable-name passthrough this
+   replaces let adversarial strings through to the encoder — e.g.
+   "direct-999999+direct" parses fine and then allocates a layout sized by
+   the attacker — so a network-facing caller could be crashed by a
+   well-formed name. Raw exploration beyond the registry remains available
+   through [Encoding.of_name] (the CLI's -e converters use it). *)
+let of_name name =
+  match Encoding.of_name name with
+  | exception e ->
+      Error
+        (Printf.sprintf "encoding %S failed to parse: %s" name
+           (Printexc.to_string e))
+  | Error _ as err -> err
+  | Ok enc ->
+      if in_registry (reshared enc) then Ok enc
+      else
+        Error
+          (Printf.sprintf
+             "encoding %S is not in the registry (strategies are limited to \
+              the paper's encodings and the tracked multi-level extensions; \
+              see `fpgasat list`, or use the -e flags for raw encoding \
+              exploration)"
+             name)

@@ -35,8 +35,15 @@ val in_registry : Encoding.t -> bool
 (** Whether the encoding's shape is one the repository tracks — {!all} or
     {!multi_level_extensions} — in either emission mode. *)
 
-val find : string -> (Encoding.t, string) result
-(** {!Encoding.of_name}: any parseable name is accepted, registry member
-    or not, so users can explore beyond the paper (mixed hierarchies,
-    unshared ablations, [+defs] emission). Use {!in_registry} to test
-    membership. *)
+val of_name : string -> (Encoding.t, string) result
+(** Total, validated name resolution for the strategy layer: the name must
+    parse {e and} its shape — modulo emission mode and the [!unshared]
+    sharing ablation — must be in the registry ({!all} or
+    {!multi_level_extensions}). Anything else, including well-formed names
+    with unbounded variable budgets ("direct-999999+direct"), is an
+    [Error] with an explanatory message, never an exception — so a
+    network-facing caller (the solve server) can reject a malformed
+    strategy string with a protocol error instead of crashing or encoding
+    an adversarial shape. This replaces the permissive [find] passthrough;
+    raw exploration beyond the registry goes through {!Encoding.of_name}
+    (the CLI's [-e] flags). *)

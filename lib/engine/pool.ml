@@ -75,3 +75,132 @@ let map ?jobs ?(record_backtrace = false) ?on_done thunks =
     end;
     results
   end
+
+module Persistent = struct
+  type 'a ticket = {
+    t_mutex : Mutex.t;
+    t_cond : Condition.t;
+    mutable t_result : ('a, error) result option;
+  }
+
+  let fill ticket r =
+    Mutex.lock ticket.t_mutex;
+    ticket.t_result <- Some r;
+    Condition.broadcast ticket.t_cond;
+    Mutex.unlock ticket.t_mutex
+
+  let wait ticket =
+    Mutex.lock ticket.t_mutex;
+    while ticket.t_result = None do
+      Condition.wait ticket.t_cond ticket.t_mutex
+    done;
+    let r = Option.get ticket.t_result in
+    Mutex.unlock ticket.t_mutex;
+    r
+
+  let peek ticket =
+    Mutex.lock ticket.t_mutex;
+    let r = ticket.t_result in
+    Mutex.unlock ticket.t_mutex;
+    r
+
+  type t = {
+    mutex : Mutex.t;
+    not_empty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable stopping : bool;
+    mutable in_flight : int;
+    mutable domains : unit Domain.t list;
+  }
+
+  type 'a submission = Accepted of 'a ticket | Rejected | Stopped
+
+  let worker pool () =
+    let rec loop () =
+      Mutex.lock pool.mutex;
+      while Queue.is_empty pool.queue && not pool.stopping do
+        Condition.wait pool.not_empty pool.mutex
+      done;
+      (* drain semantics: stopping only ends the loop once the backlog is
+         empty, so every accepted ticket is eventually filled *)
+      if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+      else begin
+        let job = Queue.pop pool.queue in
+        pool.in_flight <- pool.in_flight + 1;
+        Mutex.unlock pool.mutex;
+        job ();
+        Mutex.lock pool.mutex;
+        pool.in_flight <- pool.in_flight - 1;
+        Mutex.unlock pool.mutex;
+        loop ()
+      end
+    in
+    loop ()
+
+  let create ?workers ?(queue_capacity = 64) () =
+    let workers =
+      match workers with Some w -> max 1 w | None -> default_jobs ()
+    in
+    let pool =
+      {
+        mutex = Mutex.create ();
+        not_empty = Condition.create ();
+        queue = Queue.create ();
+        capacity = max 1 queue_capacity;
+        stopping = false;
+        in_flight = 0;
+        domains = [];
+      }
+    in
+    pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
+    pool
+
+  let workers pool = List.length pool.domains
+
+  let submit pool thunk =
+    Mutex.lock pool.mutex;
+    if pool.stopping then begin
+      Mutex.unlock pool.mutex;
+      Stopped
+    end
+    else if Queue.length pool.queue >= pool.capacity then begin
+      Mutex.unlock pool.mutex;
+      Rejected
+    end
+    else begin
+      let ticket =
+        { t_mutex = Mutex.create (); t_cond = Condition.create (); t_result = None }
+      in
+      Queue.push
+        (fun () ->
+          let r = try Ok (thunk ()) with e -> Error (error_of_exn e) in
+          fill ticket r)
+        pool.queue;
+      Condition.signal pool.not_empty;
+      Mutex.unlock pool.mutex;
+      Accepted ticket
+    end
+
+  let run pool thunk =
+    match submit pool thunk with
+    | Accepted ticket -> Some (wait ticket)
+    | Rejected | Stopped -> None
+
+  let backlog pool =
+    Mutex.lock pool.mutex;
+    let queued = Queue.length pool.queue and running = pool.in_flight in
+    Mutex.unlock pool.mutex;
+    (queued, running)
+
+  let shutdown pool =
+    Mutex.lock pool.mutex;
+    let first = not pool.stopping in
+    pool.stopping <- true;
+    Condition.broadcast pool.not_empty;
+    Mutex.unlock pool.mutex;
+    if first then begin
+      List.iter Domain.join pool.domains;
+      pool.domains <- []
+    end
+end

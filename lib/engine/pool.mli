@@ -51,3 +51,57 @@ val map :
 
     A thunk that raises yields [Error e] in its slot, with the exception
     class, message and optional backtrace; the sweep continues. *)
+
+(** A long-lived bounded pool with admission control.
+
+    Where {!map} spins workers up for one job array and joins them, a
+    [Persistent.t] keeps a fixed set of worker domains alive across many
+    independent submissions — the substrate of the solve server, where
+    requests arrive over time and each must be accepted, rejected
+    (backlog full) or refused (shutting down) {e immediately}, never
+    blocked on a queue. *)
+module Persistent : sig
+  type t
+
+  type 'a ticket
+  (** A handle on one accepted submission's eventual result. *)
+
+  type 'a submission =
+    | Accepted of 'a ticket
+    | Rejected  (** Backlog at capacity — the admission-control answer. *)
+    | Stopped  (** {!shutdown} has begun; no new work is admitted. *)
+
+  val create : ?workers:int -> ?queue_capacity:int -> unit -> t
+  (** Spawns [workers] domains (default {!default_jobs}, clamped to ≥ 1)
+      that idle until work arrives. [queue_capacity] (default 64, clamped
+      to ≥ 1) bounds the number of {e queued} (not yet running)
+      submissions; beyond it {!submit} answers {!Rejected}. *)
+
+  val submit : t -> (unit -> 'a) -> 'a submission
+  (** Never blocks: either the thunk is queued and a ticket returned, or
+      the caller learns instantly that the pool is full or stopping. A
+      thunk that raises resolves its ticket to [Error] (exception class +
+      message); the worker survives. *)
+
+  val wait : 'a ticket -> ('a, error) result
+  (** Blocks the calling thread until the submission has run. *)
+
+  val peek : 'a ticket -> ('a, error) result option
+  (** Non-blocking: [None] while still queued or running. *)
+
+  val run : t -> (unit -> 'a) -> ('a, error) result option
+  (** [submit] + [wait]; [None] when the pool refused the work. *)
+
+  val backlog : t -> int * int
+  (** [(queued, running)] at this instant — the admission-control gauge. *)
+
+  val workers : t -> int
+  (** Worker domains still attached (0 after {!shutdown} returns). *)
+
+  val shutdown : t -> unit
+  (** Graceful drain: stops admission, lets the workers finish every
+      already-accepted submission, then joins every worker domain — when
+      it returns no spawned domain is left running and every accepted
+      ticket is filled. Idempotent; concurrent callers may return while
+      the first caller is still joining. *)
+end

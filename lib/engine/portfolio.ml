@@ -21,7 +21,10 @@ let pick_winner ~by members =
 
 let run_one budget strategy route ~width =
   let t0 = Unix.gettimeofday () in
-  let run = C.Flow.check_width ~strategy ~budget route ~width in
+  let request =
+    C.Flow.(default_request |> with_strategy strategy |> with_budget budget)
+  in
+  let run = C.Flow.submit request route ~width in
   { strategy; run; wall_seconds = Unix.gettimeofday () -. t0 }
 
 let members_of_results strategies results =
@@ -84,9 +87,3 @@ let run ?(mode = `Parallel) ?jobs ?poll_every
         | i -> Some (List.nth members i)
       in
       { winner; members }
-
-let run_simulated ?budget strategies route ~width =
-  run ~mode:`Simulated ?budget strategies route ~width
-
-let run_parallel ?budget strategies route ~width =
-  run ~mode:`Parallel ?budget strategies route ~width

@@ -52,22 +52,8 @@ val run :
     [poll_every] is the cancellation poll interval in conflicts (default
     {!Fpgasat_sat.Solver.default_poll_interval}). Raises
     [Invalid_argument] on an empty member list and [Failure] if a member
-    raises. *)
+    raises.
 
-val run_simulated :
-  ?budget:Fpgasat_sat.Solver.budget ->
-  Fpgasat_core.Strategy.t list ->
-  Fpgasat_fpga.Global_route.t ->
-  width:int ->
-  t
-[@@ocaml.deprecated "use Portfolio.run ~mode:`Simulated"]
-(** @deprecated Thin wrapper over [run ~mode:`Simulated]. *)
-
-val run_parallel :
-  ?budget:Fpgasat_sat.Solver.budget ->
-  Fpgasat_core.Strategy.t list ->
-  Fpgasat_fpga.Global_route.t ->
-  width:int ->
-  t
-[@@ocaml.deprecated "use Portfolio.run ~mode:`Parallel"]
-(** @deprecated Thin wrapper over [run ~mode:`Parallel]. *)
+    The [run_simulated] / [run_parallel] wrappers deprecated since the
+    engine landed have been removed; [run ?mode] is the only entry
+    point. *)

@@ -1,6 +1,6 @@
 (** The stable machine-readable schema for one experiment cell.
 
-    One record = one [Flow.check_width] run (or a crash while attempting
+    One record = one [Flow.submit] run (or a crash while attempting
     it) on one [benchmark × strategy × width] cell. Records serialise to a
     single JSON line and parse back loss-free, which makes files of them
     (JSONL) the durable form of every sweep: text tables are pure views

@@ -28,23 +28,25 @@ let cell ~benchmark strategy route ~width =
     width;
     run =
       (fun ~budget ~certify ~telemetry ~fallback ->
-        match fallback with
-        | Primary ->
-            C.Flow.check_width ~strategy ~budget ~certify ~telemetry route
-              ~width
-        | Fallback_minisat ->
-            let strategy =
-              {
-                strategy with
-                C.Strategy.solver = Sat.Solver.minisat_like;
-                solver_name = "minisat";
-              }
-            in
-            C.Flow.check_width ~strategy ~budget ~certify ~telemetry route
-              ~width
-        | Fallback_dpll ->
-            C.Flow.check_width ~strategy ~budget ~certify ~telemetry
-              ~backend:`Dpll route ~width);
+        let request =
+          C.Flow.(
+            default_request |> with_strategy strategy |> with_budget budget
+            |> with_certify certify |> with_telemetry telemetry)
+        in
+        let request =
+          match fallback with
+          | Primary -> request
+          | Fallback_minisat ->
+              C.Flow.with_strategy
+                {
+                  strategy with
+                  C.Strategy.solver = Sat.Solver.minisat_like;
+                  solver_name = "minisat";
+                }
+                request
+          | Fallback_dpll -> C.Flow.with_backend `Dpll request
+        in
+        C.Flow.submit request route ~width);
   }
 
 type progress = { completed : int; total : int; skipped : int }

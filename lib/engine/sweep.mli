@@ -41,7 +41,8 @@ type fallback = Primary | Fallback_minisat | Fallback_dpll
 (** Which rung of the retry ladder an attempt runs on. [Primary] is the
     job's own strategy; [Fallback_minisat] swaps the solver preset for
     {!Fpgasat_sat.Solver.minisat_like}; [Fallback_dpll] runs the plain DPLL
-    backend ({!Fpgasat_core.Flow.check_width} with [~backend:`Dpll]). *)
+    backend ({!Fpgasat_core.Flow.submit} of a request with
+    [backend = `Dpll]). *)
 
 val fallback_name : fallback -> string
 (** ["primary"], ["minisat"], ["dpll"]. *)
@@ -70,7 +71,7 @@ val cell :
   Fpgasat_fpga.Global_route.t ->
   width:int ->
   job
-(** The standard cell: [Flow.check_width] of the strategy on the route.
+(** The standard cell: [Flow.submit] of the strategy's request on the route.
     Honours the full fallback ladder. The record always carries the cell's
     own strategy name regardless of which rung answered, so resume keys
     stay stable. *)

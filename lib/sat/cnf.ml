@@ -188,6 +188,39 @@ let copy t =
   append c t;
   c
 
+(* FNV-1a over the logical content (variable count, then each clause's
+   normalised literals with a terminator). Only the packed fill is hashed —
+   never spare arena capacity — so structurally identical formulas hash
+   identically regardless of growth history, and [copy]/[append] preserve
+   the hash of the copied content. Deterministic across processes (no
+   [Hashtbl.hash] seeding), which is what lets a solve server key its
+   answer cache on it. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let structural_hash t =
+  let h = ref fnv_offset in
+  let mix x =
+    (* fold the int in as 8 bytes, FNV-1a style *)
+    let v = ref (Int64.of_int x) in
+    for _ = 0 to 7 do
+      let byte = Int64.to_int (Int64.logand !v 0xffL) in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime;
+      v := Int64.shift_right_logical !v 8
+    done
+  in
+  mix t.nvars;
+  mix t.nclauses;
+  for i = 0 to t.nclauses - 1 do
+    let off = t.offs.(i) and len = t.lens.(i) in
+    for k = off to off + len - 1 do
+      mix t.lits.(k)
+    done;
+    (* terminator: distinguishes [1][2,3] from [1,2][3] *)
+    mix min_int
+  done;
+  !h
+
 let live_words t =
   Array.length t.lits + (2 * Array.length t.offs) + Array.length t.scratch
 

@@ -107,6 +107,16 @@ val append : t -> t -> unit
 val copy : t -> t
 (** An independent copy, arena sized exactly to the source's literals. *)
 
+val structural_hash : t -> int64
+(** A 64-bit FNV-1a hash of the formula's logical content: the variable
+    count and every clause's normalised literals, in insertion order.
+    Deterministic across processes and runs (no randomised seeding), and a
+    function of content only — spare arena capacity, growth history, and
+    [copy]/[append] provenance do not affect it. Two formulas built by the
+    same deterministic encoder from the same input always collide; distinct
+    formulas collide with probability ~2^-64. The solve server keys its
+    answer cache on this hash (× strategy × budget). *)
+
 val live_words : t -> int
 (** Words currently held by the arena and its indexes (capacity, not fill) —
     the formula's resident memory footprint, for benchmarks. *)

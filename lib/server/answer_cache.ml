@@ -1,0 +1,71 @@
+type 'a entry = { value : 'a; mutable last_use : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    mutex = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some e ->
+          t.tick <- t.tick + 1;
+          e.last_use <- t.tick;
+          t.hits <- t.hits + 1;
+          Some e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+(* O(capacity) scan at eviction: the cache is small (hundreds) and only
+   full inserts pay it, so a linked-list LRU would be complexity without a
+   measurable return. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, best) when best <= e.last_use -> acc
+        | _ -> Some (key, e.last_use))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      (match Hashtbl.find_opt t.tbl key with
+      | Some _ -> Hashtbl.remove t.tbl key
+      | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+      Hashtbl.replace t.tbl key { value; last_use = t.tick })
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+let capacity t = t.capacity
+
+let stats t =
+  locked t (fun () ->
+      (t.hits, t.misses, t.evictions))

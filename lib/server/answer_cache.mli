@@ -1,0 +1,26 @@
+(** A small thread-safe LRU cache for served answers.
+
+    Keys are the server's request identity strings —
+    [cnf-structural-hash × strategy × width × budget-signature × certify]
+    — so a byte-identical question is answered without running a solver,
+    and any change to the problem content, the strategy, or the budget
+    misses. Only decisive outcomes are worth storing (the server's rule;
+    the cache itself is policy-free). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 256; clamped to ≥ 1. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency on hit; counts hit/miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes) the binding, evicting the least-recently-used
+    entry when the cache is full. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val stats : 'a t -> int * int * int
+(** [(hits, misses, evictions)] since creation. *)

@@ -1,0 +1,44 @@
+module J = Fpgasat_obs.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+        }
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path
+           (Unix.error_message err))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let call_line t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "server closed the connection"
+  | exception Sys_error m -> Error m
+
+let call t request =
+  match call_line t (J.to_string (P.request_to_json request)) with
+  | Error _ as err -> err
+  | Ok line -> P.parse_response line
+
+let one_shot ~socket request =
+  match connect socket with
+  | Error _ as err -> err
+  | Ok conn ->
+      Fun.protect ~finally:(fun () -> close conn) (fun () -> call conn request)

@@ -1,0 +1,19 @@
+(** A minimal blocking client for the solve server's socket protocol. *)
+
+type t
+
+val connect : string -> (t, string) result
+(** Connect to the server's Unix socket path. *)
+
+val close : t -> unit
+
+val call_line : t -> string -> (string, string) result
+(** Send one raw line, read one reply line — for callers that build their
+    own JSON. *)
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** Send a typed request, parse the typed response. The connection stays
+    open; repeated calls reuse it (and the server's warm state). *)
+
+val one_shot : socket:string -> Protocol.request -> (Protocol.response, string) result
+(** Connect, {!call} once, close. *)

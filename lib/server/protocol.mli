@@ -1,0 +1,129 @@
+(** The solve server's wire protocol: line-delimited JSON over a Unix
+    socket.
+
+    One request per line, one response per line, both single-line compact
+    JSON ({!Fpgasat_obs.Json}). The solve payload of a successful [route]
+    response {e is} an [fpgasat.run/1] record object — the same schema the
+    sweep engine writes to JSONL files ({!Fpgasat_engine.Run_record}) — so
+    a client can pipe served runs straight into the existing tables and
+    resume tooling.
+
+    Request ([fpgasat.req/1]):
+    {v
+    {"schema":"fpgasat.req/1","id":"r1","op":"route","benchmark":"alu2",
+     "width":4,"strategy":"ITE-linear-2+muldirect/s1@siege",
+     "max_conflicts":n?,"max_seconds":f?,"max_memory_mb":n?,
+     "certify":true?,"telemetry":true?}
+    v}
+
+    Response ([fpgasat.resp/1]):
+    {v
+    {"schema":"fpgasat.resp/1","id":"r1",
+     "status":"ok|error|overloaded|shutting_down",
+     "served_by":"cache|warm|cold"?,"run":{fpgasat.run/1}?,
+     "min_width":n?,"payload":{}?,"error":"msg"?}
+    v} *)
+
+val request_schema : string
+(** ["fpgasat.req/1"]. *)
+
+val response_schema : string
+(** ["fpgasat.resp/1"]. *)
+
+type op =
+  | Route  (** Width query on a benchmark; needs [benchmark] and [width]. *)
+  | Min_width  (** Minimal width of a benchmark; needs [benchmark]. *)
+  | Ping
+  | Stats  (** Server counters as the response [payload]. *)
+  | Shutdown  (** Ask the server to drain and exit. *)
+  | Sleep of float
+      (** Occupy one worker for the given seconds — a deterministic load
+          generator for overload and drain tests. Rejected unless the
+          server was started with [test_ops]. *)
+
+val op_name : op -> string
+
+type request = {
+  id : string option;  (** Echoed back verbatim in the response. *)
+  op : op;
+  benchmark : string;  (** [""] for ops that take none. *)
+  width : int;  (** [0] for ops that take none. *)
+  strategy : string option;
+      (** {!Fpgasat_core.Strategy.of_name} form; server default when
+          absent. Malformed or out-of-registry names are a protocol
+          [error], never a crash ({!Fpgasat_encodings.Registry.of_name}). *)
+  max_conflicts : int option;
+  max_seconds : float option;
+  max_memory_mb : int option;
+      (** Per-request budget; the server caps each field with its own
+          configured ceilings. *)
+  certify : bool;
+      (** Independently check the answer. Certified requests bypass the
+          warm session (a per-query UNSAT under selector assumptions is
+          not a standalone DRAT refutation) and take the cold
+          {!Fpgasat_core.Flow.submit} path. *)
+  telemetry : bool;
+}
+
+val request :
+  ?id:string ->
+  ?strategy:string ->
+  ?max_conflicts:int ->
+  ?max_seconds:float ->
+  ?max_memory_mb:int ->
+  ?certify:bool ->
+  ?telemetry:bool ->
+  ?benchmark:string ->
+  ?width:int ->
+  op ->
+  request
+
+val budget_of_request : request -> Fpgasat_sat.Solver.budget
+val budget_signature : request -> string
+(** Stable textual identity of the request budget — part of the
+    answer-cache key, because a timeout under one budget says nothing
+    about another. *)
+
+val request_to_json : request -> Fpgasat_obs.Json.t
+val request_of_json : Fpgasat_obs.Json.t -> (request, string) result
+val parse_request : string -> (request, string) result
+(** One line → request. *)
+
+type served_by =
+  | Cache  (** Answered from the LRU answer cache; no solver ran. *)
+  | Warm  (** Answered by a warm session's incremental ladder. *)
+  | Cold  (** Full {!Fpgasat_core.Flow.submit} pipeline. *)
+
+val served_by_name : served_by -> string
+
+type status =
+  | Done
+  | Failed  (** Protocol or execution error; see [message]. *)
+  | Overloaded  (** Admission control rejected the request: backlog full. *)
+  | Shutting_down  (** Drain has begun; no new work is admitted. *)
+
+val status_name : status -> string
+
+type response = {
+  resp_id : string option;
+  status : status;
+  served_by : served_by option;
+  run : Fpgasat_obs.Json.t option;  (** An [fpgasat.run/1] record object. *)
+  min_width : int option;
+  payload : Fpgasat_obs.Json.t option;
+  message : string option;
+}
+
+val response :
+  ?id:string ->
+  ?served_by:served_by ->
+  ?run:Fpgasat_obs.Json.t ->
+  ?min_width:int ->
+  ?payload:Fpgasat_obs.Json.t ->
+  ?message:string ->
+  status ->
+  response
+
+val response_to_json : response -> Fpgasat_obs.Json.t
+val response_of_json : Fpgasat_obs.Json.t -> (response, string) result
+val parse_response : string -> (response, string) result

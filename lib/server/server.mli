@@ -1,0 +1,74 @@
+(** The routing-as-a-service daemon.
+
+    A Unix-domain-socket server speaking {!Protocol} (line-delimited
+    JSON). Three layers between socket and solver:
+
+    - {b Warm sessions} ({!Session}): one incremental ladder per
+      benchmark × strategy, encoded on first use and reused by every
+      later width query.
+    - {b Answer cache} ({!Answer_cache}): decisive answers keyed by
+      CNF structural hash × strategy × width × budget × certify are
+      replayed without running a solver.
+    - {b Admission control} ({!Fpgasat_engine.Pool.Persistent}): a fixed
+      worker-domain pool with a bounded queue. A request past capacity
+      gets an [overloaded] response immediately; once drain begins, a
+      [shutting_down] response.
+
+    Concurrency model: one lightweight thread per connection parses and
+    frames; CPU-bound solving runs on the persistent domain pool. SIGTERM
+    (or the protocol [shutdown] op) triggers a graceful drain — in-flight
+    requests finish, every connection thread and worker domain is joined,
+    the socket file is removed. *)
+
+type config = {
+  socket_path : string;
+  workers : int;  (** Solver worker domains (default 2). *)
+  queue_capacity : int;
+      (** Max queued (not yet running) requests before [overloaded]
+          (default 16). *)
+  cache_capacity : int;  (** Answer-cache entries (default 256). *)
+  max_sessions : int;
+      (** Warm sessions kept; least-recently-used beyond this is dropped
+          (default 16). *)
+  max_seconds : float option;
+      (** Server-side ceiling on any request's time budget. *)
+  max_memory_mb : int option;
+      (** Server-side ceiling on any request's memory budget. *)
+  test_ops : bool;
+      (** Enable the [sleep] op — deterministic load for overload/drain
+          tests; keep off in production. *)
+}
+
+val default_config : socket_path:string -> config
+
+type t
+
+val start : config -> t
+(** Binds the socket (unlinking a stale file), spawns the worker pool and
+    the accept thread, returns immediately. *)
+
+val stop : t -> unit
+(** Graceful drain: stops accepting, lets in-flight requests finish,
+    joins every connection thread and worker domain, closes and unlinks
+    the socket. Idempotent; blocks until fully drained. *)
+
+val request_stop : t -> unit
+(** Async-signal-safe part of {!stop}: flags the stop and wakes the
+    accept loop, without blocking. {!stop} (or {!run}'s main loop) does
+    the joining. *)
+
+val stop_requested : t -> bool
+
+val run : config -> unit
+(** {!start}, install SIGTERM/SIGINT handlers that {!request_stop}, block
+    until a stop is requested (signal or protocol [shutdown] op), then
+    drain via {!stop}. The daemon entry point behind [fpgasat serve]. *)
+
+val stats_json : t -> Fpgasat_obs.Json.t
+(** The same counters the protocol [stats] op returns. *)
+
+val trace : t -> Fpgasat_obs.Trace.t
+(** Per-request solve spans ([Solve_begin]/[Solve_end]) recorded by the
+    serving layer. *)
+
+val socket_path : t -> string

@@ -37,7 +37,11 @@ let encode strategy graph ~width =
    Dpll and Exact_coloring and re-derive the certificate by hand. *)
 let check_cell ~route ~graph ~strategy ~width =
   let ctx = Printf.sprintf "%s w=%d" (Strategy.name strategy) width in
-  let run = Flow.check_width ~strategy ~certify:true route ~width in
+  let run =
+    Flow.(
+      submit (default_request |> with_strategy strategy |> with_certify true))
+      route ~width
+  in
   let enc = encode strategy graph ~width in
   (match run.Flow.outcome with
   | Flow.Timeout | Flow.Memout -> ()

@@ -188,8 +188,13 @@ let test_retry_walks_fallback_ladder () =
           match fallback with
           | Sweep.Primary -> flow_timeout_run unsat_width
           | Sweep.Fallback_minisat | Sweep.Fallback_dpll ->
-              Flow.check_width ~strategy:Strategy.best_single ~budget ~certify
-                ~telemetry small_route ~width:unsat_width);
+              Flow.(
+                submit
+                  (default_request
+                  |> with_strategy Strategy.best_single
+                  |> with_budget budget |> with_certify certify
+                  |> with_telemetry telemetry))
+                small_route ~width:unsat_width);
     }
   in
   let config =

@@ -59,7 +59,7 @@ let test_paper_strategies () =
 (* --- flow --- *)
 
 let test_flow_routable_at_upper_bound () =
-  let run = Flow.check_width small_route ~width:small_ub in
+  let run = Flow.submit Flow.default_request small_route ~width:small_ub in
   match run.Flow.outcome with
   | Flow.Routable detailed ->
       Alcotest.(check int) "width recorded" small_ub run.Flow.width;
@@ -74,7 +74,9 @@ let test_flow_routable_at_upper_bound () =
 
 let test_flow_unroutable_at_one () =
   if G.Graph.num_edges small_graph > 0 then begin
-    let run = Flow.check_width ~want_proof:true small_route ~width:1 in
+    let run =
+      Flow.(submit (default_request |> with_proof true)) small_route ~width:1
+    in
     match run.Flow.outcome with
     | Flow.Unroutable -> (
         match run.Flow.proof with
@@ -93,7 +95,8 @@ let test_flow_all_encodings_agree () =
     List.map
       (fun e ->
         let run =
-          Flow.check_width ~strategy:(Strategy.make e) small_route ~width
+          Flow.(submit (default_request |> with_strategy (Strategy.make e)))
+            small_route ~width
         in
         match run.Flow.outcome with
         | Flow.Routable _ -> true
@@ -112,11 +115,14 @@ let test_flow_all_encodings_agree () =
 let test_flow_budget_timeout () =
   let spec = Option.get (F.Benchmarks.find "C1355") in
   let inst = F.Benchmarks.build spec in
+  let request =
+    Flow.(
+      default_request
+      |> with_strategy (strategy "muldirect")
+      |> with_budget (Sat.Solver.conflict_budget 10))
+  in
   let run =
-    Flow.check_width
-      ~strategy:(strategy "muldirect")
-      ~budget:(Sat.Solver.conflict_budget 10)
-      inst.F.Benchmarks.route
+    Flow.submit request inst.F.Benchmarks.route
       ~width:(inst.F.Benchmarks.max_congestion - 1)
   in
   match run.Flow.outcome with
@@ -125,8 +131,15 @@ let test_flow_budget_timeout () =
       Alcotest.fail "10 conflicts cannot decide C1355"
 
 let test_flow_rejects_bad_width () =
-  Alcotest.check_raises "width 0" (Invalid_argument "Flow.check_width: width < 1")
-    (fun () -> ignore (Flow.check_width small_route ~width:0))
+  Alcotest.check_raises "width 0" (Invalid_argument "Flow.submit: width < 1")
+    (fun () -> ignore (Flow.submit Flow.default_request small_route ~width:0))
+
+let[@warning "-3"] test_flow_deprecated_check_width () =
+  (* one release of compatibility: the wrapper must agree with submit *)
+  let a = Flow.check_width small_route ~width:small_ub in
+  let b = Flow.submit Flow.default_request small_route ~width:small_ub in
+  Alcotest.(check bool) "wrapper agrees with submit" true
+    (Flow.decisive a.Flow.outcome = Flow.decisive b.Flow.outcome)
 
 let test_color_graph_matches_check_width () =
   let answer, _ = Flow.color_graph small_graph ~k:small_ub in
@@ -161,7 +174,7 @@ let test_binary_search_minimal () =
           Alcotest.(check bool) "structural bound" true
             (G.Clique.lower_bound small_graph >= w));
       (* cross-check against an independent direct query *)
-      let direct = Flow.check_width small_route ~width:(w - 1) in
+      let direct = Flow.submit Flow.default_request small_route ~width:(w - 1) in
       if w > 1 then
         match direct.Flow.outcome with
         | Flow.Unroutable -> ()
@@ -288,6 +301,8 @@ let () =
           Alcotest.test_case "all encodings agree" `Slow test_flow_all_encodings_agree;
           Alcotest.test_case "budget timeout" `Quick test_flow_budget_timeout;
           Alcotest.test_case "bad width rejected" `Quick test_flow_rejects_bad_width;
+          Alcotest.test_case "deprecated check_width wrapper" `Quick
+            test_flow_deprecated_check_width;
           Alcotest.test_case "color_graph" `Quick test_color_graph_matches_check_width;
         ] );
       ( "binary-search",

@@ -496,13 +496,25 @@ let test_in_registry () =
     (E.Registry.all_emissions @ E.Registry.multi_level_extensions);
   Alcotest.(check bool) "mixed hierarchy is not" false
     (E.Registry.in_registry (enc "direct-2+log"));
-  (* find stays permissive for exploration beyond the registry *)
-  (match E.Registry.find "direct-2+log" with
+  (* of_name is strict: parseable but out-of-registry shapes are rejected
+     (Encoding.of_name stays the permissive exploration path) *)
+  (match E.Registry.of_name "direct-2+log" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_name accepted an out-of-registry shape");
+  (match E.Encoding.of_name "direct-2+log" with
   | Ok _ -> ()
   | Error m -> Alcotest.fail m);
-  match E.Registry.find "nonsense" with
+  (* ... but admits registry encodings in any emission and the !unshared
+     ablation (the bench sweeps those as strategies) *)
+  (match E.Registry.of_name "direct-3+muldirect!unshared" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  (match E.Registry.of_name "ITE-linear-2+muldirect+defs" with
+  | Ok _ -> ()
+  | Error m -> Alcotest.fail m);
+  match E.Registry.of_name "nonsense" with
   | Error _ -> ()
-  | Ok _ -> Alcotest.fail "find accepted an unparseable name"
+  | Ok _ -> Alcotest.fail "of_name accepted an unparseable name"
 
 (* --- symmetry-breaking heuristics --- *)
 

@@ -152,7 +152,8 @@ let contains ~needle haystack =
 (* ---------- Run_record ---------- *)
 
 let sample_run width =
-  Flow.check_width ~strategy:Strategy.best_single small_route ~width
+  Flow.(submit (default_request |> with_strategy Strategy.best_single))
+    small_route ~width
 
 let test_run_record_roundtrip () =
   List.iter
@@ -400,8 +401,12 @@ let test_sweep_certify_records_certified () =
 
 let test_certified_record_json () =
   let run =
-    Flow.check_width ~strategy:Strategy.best_single ~certify:true small_route
-      ~width:small_ub
+    Flow.(
+      submit
+        (default_request
+        |> with_strategy Strategy.best_single
+        |> with_certify true))
+      small_route ~width:small_ub
   in
   let r = Run_record.of_run ~benchmark:"small" ~wall_seconds:0.25 run in
   Alcotest.(check (option bool)) "certified in the record" (Some true)
@@ -590,13 +595,6 @@ let test_portfolio_empty_rejected () =
   Alcotest.check_raises "empty" (Invalid_argument "Portfolio.run: empty")
     (fun () -> ignore (P.run [] small_route ~width:2))
 
-let[@warning "-3"] test_portfolio_deprecated_wrappers () =
-  let width = max 1 (small_ub - 1) in
-  let sim = P.run_simulated Strategy.paper_portfolio_2 small_route ~width in
-  Alcotest.(check int) "simulated wrapper still works" 2 (List.length sim.P.members);
-  let par = P.run_parallel Strategy.paper_portfolio_2 small_route ~width in
-  Alcotest.(check int) "parallel wrapper still works" 2 (List.length par.P.members)
-
 (* ---------- suite ---------- *)
 
 let qtests =
@@ -658,8 +656,6 @@ let () =
           Alcotest.test_case "members agree" `Quick test_portfolio_members_agree;
           Alcotest.test_case "parallel" `Quick test_portfolio_parallel;
           Alcotest.test_case "empty rejected" `Quick test_portfolio_empty_rejected;
-          Alcotest.test_case "deprecated wrappers" `Quick
-            test_portfolio_deprecated_wrappers;
         ] );
       ("properties", qtests);
     ]

@@ -47,7 +47,11 @@ let test_full_flow_on_alu2 () =
             (Format.asprintf "invalid routing: %a" F.Detailed_route.pp_violation v));
       (* and the width below is refuted by an independent strategy *)
       let run =
-        Flow.check_width ~strategy:(strategy "log@minisat") ~budget
+        Flow.(
+          submit
+            (default_request
+            |> with_strategy (strategy "log@minisat")
+            |> with_budget budget))
           alu2.F.Benchmarks.route ~width:(w - 1)
       in
       (match run.Flow.outcome with
@@ -62,8 +66,9 @@ let test_unsat_instance_has_drat_trace () =
       let w = r.C.Binary_search.w_min in
       if w > G.Clique.lower_bound too_large.F.Benchmarks.graph then begin
         let run =
-          Flow.check_width ~want_proof:true ~budget too_large.F.Benchmarks.route
-            ~width:(w - 1)
+          Flow.(
+            submit (default_request |> with_proof true |> with_budget budget))
+            too_large.F.Benchmarks.route ~width:(w - 1)
         in
         match (run.Flow.outcome, run.Flow.proof) with
         | Flow.Unroutable, Some proof ->
@@ -115,7 +120,11 @@ let test_strategies_consistent_on_alu2 () =
       List.iter
         (fun sname ->
           let sat_run =
-            Flow.check_width ~strategy:(strategy sname) ~budget
+            Flow.(
+              submit
+                (default_request
+                |> with_strategy (strategy sname)
+                |> with_budget budget))
               alu2.F.Benchmarks.route ~width:w
           in
           (match sat_run.Flow.outcome with
@@ -124,7 +133,11 @@ let test_strategies_consistent_on_alu2 () =
           | Flow.Timeout | Flow.Memout ->
               Alcotest.fail (sname ^ ": timeout at w_min"));
           let unsat_run =
-            Flow.check_width ~strategy:(strategy sname) ~budget
+            Flow.(
+              submit
+                (default_request
+                |> with_strategy (strategy sname)
+                |> with_budget budget))
               alu2.F.Benchmarks.route ~width:(w - 1)
           in
           match unsat_run.Flow.outcome with
@@ -212,8 +225,9 @@ let test_serial_roundtrip_preserves_verdict () =
   Sys.remove nets_file;
   Sys.remove routes_file;
   let w = alu2.F.Benchmarks.max_congestion in
-  let direct = Flow.check_width ~budget alu2.F.Benchmarks.route ~width:w in
-  let via_files = Flow.check_width ~budget route ~width:w in
+  let request = Flow.(default_request |> with_budget budget) in
+  let direct = Flow.submit request alu2.F.Benchmarks.route ~width:w in
+  let via_files = Flow.submit request route ~width:w in
   let tag r =
     match r.Flow.outcome with
     | Flow.Routable _ -> "routable"

@@ -261,7 +261,8 @@ let qcheck_telemetry_roundtrip =
 (* ---------- run-record compatibility ---------- *)
 
 let run_once ~telemetry =
-  Flow.check_width ~telemetry small_route ~width:6
+  Flow.(submit (default_request |> with_telemetry telemetry)) small_route
+    ~width:6
 
 let test_record_with_telemetry_roundtrips () =
   let run = run_once ~telemetry:true in
@@ -389,7 +390,9 @@ let test_baseline_render_verdict () =
 
 let test_flow_trace_records_solve_span () =
   let trace = Trace.create () in
-  let run = Flow.check_width ~trace small_route ~width:6 in
+  let run =
+    Flow.(submit (default_request |> with_trace trace)) small_route ~width:6
+  in
   Alcotest.(check bool) "run decisive" true
     (match run.Flow.outcome with
     | Flow.Routable _ | Flow.Unroutable -> true
