@@ -1331,6 +1331,26 @@ let handicap_budget budget =
     Sat.Solver.with_poll_interval 1 (Sat.Solver.interruptible hook budget)
   end
 
+(* w_min per benchmark, memoised: both the solve and the props sections
+   key their widths off it. *)
+let w_min_cache : (string, int) Hashtbl.t = Hashtbl.create 4
+
+let w_min_of bench route =
+  match Hashtbl.find_opt w_min_cache bench with
+  | Some w -> w
+  | None ->
+      let w =
+        match
+          C.Binary_search.minimal_width ~strategy:Strategy.best_single
+            ~budget:(Sat.Solver.time_budget (4. *. !budget_seconds))
+            route
+        with
+        | Ok r -> r.C.Binary_search.w_min
+        | Error m -> failwith (Printf.sprintf "perf-gate: %s: %s" bench m)
+      in
+      Hashtbl.add w_min_cache bench w;
+      w
+
 (* The solve half of the matrix: two benchmarks small enough to finish in
    seconds yet conflict-heavy enough to exercise the search, each at
    w_min-1 (UNSAT) and w_min+1 (easy SAT). Keys are relative to w_min, so
@@ -1342,15 +1362,7 @@ let perf_solve_cells () =
       let spec = Option.get (F.Benchmarks.find bench) in
       let inst = F.Benchmarks.build spec in
       let route = inst.F.Benchmarks.route in
-      let w_min =
-        match
-          C.Binary_search.minimal_width ~strategy:Strategy.best_single
-            ~budget:(Sat.Solver.time_budget (4. *. !budget_seconds))
-            route
-        with
-        | Ok r -> r.C.Binary_search.w_min
-        | Error m -> failwith (Printf.sprintf "perf-gate: %s: %s" bench m)
-      in
+      let w_min = w_min_of bench route in
       List.map
         (fun (tag, delta) ->
           let width = max 1 (w_min + delta) in
@@ -1375,6 +1387,49 @@ let perf_solve_cells () =
         [ ("wmin-1", -1); ("wmin+1", 1) ])
     [ "alu2"; "too_large" ]
 
+(* BCP throughput cells: the watcher/arena hot path, as microseconds per
+   propagation so lower-is-better Baseline ratios gate it directly. The
+   rate comes from the same Telemetry records that sweep --telemetry
+   reports. Each cell is an unroutable Table-2-style configuration under
+   the log encoding, capped by a conflict budget so repeated runs of the
+   deterministic solver perform identical work; the median over the
+   repeats shaves scheduler noise. *)
+let props_tolerance = 1. /. 0.9
+(* >10 % fewer propagations per second fails the gate *)
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let props_cells () =
+  let log_strategy = Strategy.make ~solver:`Siege_like (encoding "log") in
+  List.map
+    (fun (bench, repeats, conflicts) ->
+      let spec = Option.get (F.Benchmarks.find bench) in
+      let inst = F.Benchmarks.build spec in
+      let route = inst.F.Benchmarks.route in
+      let width = max 1 (w_min_of bench route - 1) in
+      let rate () =
+        let budget = handicap_budget (Sat.Solver.conflict_budget conflicts) in
+        let run =
+          Flow.(
+            submit
+              (default_request
+              |> with_strategy log_strategy
+              |> with_budget budget |> with_telemetry true))
+            route ~width
+        in
+        match run.Flow.telemetry with
+        | Some t -> t.Obs.Telemetry.propagations_per_sec
+        | None -> failwith "perf-gate: telemetry record missing"
+      in
+      let per_sec = median (List.init repeats (fun _ -> rate ())) in
+      Printf.eprintf "perf-gate: %s W=%d log: %.0f propagations/s\n%!" bench
+        width per_sec;
+      (Printf.sprintf "%s|wmin-1|log" bench, 1e6 /. per_sec))
+    [ ("alu2", 5, 100_000); ("vda", 3, 6_000) ]
+
 let section_perf_gate () =
   let m = measure_encode () in
   let encode_cells =
@@ -1387,8 +1442,15 @@ let section_perf_gate () =
   Printf.eprintf "perf-gate: encode section done\n%!";
   let solve_cells = perf_solve_cells () in
   Printf.eprintf "perf-gate: solve section done\n%!";
+  let prop_cells = props_cells () in
+  Printf.eprintf "perf-gate: props section done\n%!";
   let current =
-    Obs.Baseline.make [ ("encode", encode_cells); ("solve", solve_cells) ]
+    Obs.Baseline.make
+      [
+        ("encode", encode_cells);
+        ("solve", solve_cells);
+        ("props", prop_cells);
+      ]
   in
   if !bench_out <> "" then begin
     Obs.Baseline.to_file !bench_out current;
@@ -1405,9 +1467,31 @@ let section_perf_gate () =
           let tolerance =
             if !gate > 0. then !gate else Obs.Baseline.default_tolerance
           in
-          let report = Obs.Baseline.compare ~tolerance ~baseline ~current () in
-          print_endline (Obs.Baseline.render report);
-          if not report.Obs.Baseline.ok then exit 1)
+          (* wall-time sections gate under --gate; the props section gates
+             separately under the fixed throughput contract (>10 % fewer
+             propagations/s fails), so loosening the time tolerance never
+             loosens the BCP-throughput one *)
+          let is_props (name, _) = String.equal name "props" in
+          let all = Obs.Baseline.sections baseline in
+          let time_baseline =
+            Obs.Baseline.make (List.filter (fun s -> not (is_props s)) all)
+          in
+          let time_report =
+            Obs.Baseline.compare ~tolerance ~baseline:time_baseline ~current ()
+          in
+          print_endline (Obs.Baseline.render time_report);
+          let props_ok =
+            match List.filter is_props all with
+            | [] -> true (* baseline predates the props section *)
+            | sec ->
+                let report =
+                  Obs.Baseline.compare ~tolerance:props_tolerance
+                    ~baseline:(Obs.Baseline.make sec) ~current ()
+                in
+                print_endline (Obs.Baseline.render report);
+                report.Obs.Baseline.ok
+          in
+          if not (time_report.Obs.Baseline.ok && props_ok) then exit 1)
 
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;

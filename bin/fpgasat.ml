@@ -224,7 +224,32 @@ let route_cmd =
                    as Chrome trace_event JSON, loadable in \
                    chrome://tracing or Perfetto.")
   in
-  let run spec width strat budget proof_file tracks json profile =
+  let inprocess_arg =
+    Arg.(value & opt (some (pair ~sep:':' int int)) None
+         & info [ "inprocess" ] ~docv:"EVERY:BUDGET"
+             ~doc:"Override the solver preset's inprocessing cadence: run a \
+                   self-subsumption and vivification pass every EVERY \
+                   restarts under a work budget of BUDGET propagations \
+                   (EVERY = 0 disables inprocessing). Useful to force \
+                   inprocessing on small instances whose runs restart too \
+                   few times to reach the default cadence, e.g. when \
+                   checking that its DRAT emissions certify.")
+  in
+  let run spec width strat budget proof_file tracks json profile inprocess =
+    let strat =
+      match inprocess with
+      | None -> strat
+      | Some (every, ibudget) ->
+          {
+            strat with
+            C.Strategy.solver =
+              {
+                strat.C.Strategy.solver with
+                Sat.Solver.inprocess_every = every;
+                inprocess_budget = ibudget;
+              };
+          }
+    in
     let inst = build_instance spec in
     let trace = Option.map (fun _ -> Obs.Trace.create ()) profile in
     let t0 = Unix.gettimeofday () in
@@ -306,7 +331,7 @@ let route_cmd =
   Cmd.v
     (Cmd.info "route" ~doc:"Decide detailed routability at a given width.")
     Term.(ret (const run $ benchmark_pos $ width_arg $ strategy_arg $ budget_arg
-               $ proof_arg $ tracks_arg $ json_arg $ profile_arg))
+               $ proof_arg $ tracks_arg $ json_arg $ profile_arg $ inprocess_arg))
 
 (* ---------- min-width ---------- *)
 

@@ -9,6 +9,7 @@ type kind =
   | Memout_poll
   | Retry
   | Quarantine
+  | Inprocess
 
 let kind_name = function
   | Solve_begin -> "solve_begin"
@@ -19,6 +20,7 @@ let kind_name = function
   | Memout_poll -> "memout_poll"
   | Retry -> "retry"
   | Quarantine -> "quarantine"
+  | Inprocess -> "inprocess"
 
 let kind_to_int = function
   | Solve_begin -> 0
@@ -29,6 +31,7 @@ let kind_to_int = function
   | Memout_poll -> 5
   | Retry -> 6
   | Quarantine -> 7
+  | Inprocess -> 8
 
 let kind_of_int = function
   | 0 -> Solve_begin
@@ -39,6 +42,7 @@ let kind_of_int = function
   | 5 -> Memout_poll
   | 6 -> Retry
   | 7 -> Quarantine
+  | 8 -> Inprocess
   | n -> invalid_arg (Printf.sprintf "Trace.kind_of_int: %d" n)
 
 (* Parallel arrays, not an event-record array: floats stay unboxed in the
@@ -116,6 +120,7 @@ let sink t =
     | Reduce_db (before, deleted) -> record t Reduce_db before deleted
     | Memout_poll words -> record t Memout_poll words 0
     | Simplify_round n -> record t Simplify_round n 0
+    | Inprocess (strengthened, removed) -> record t Inprocess strengthened removed
 
 let sink_opt = function None -> None | Some t -> Some (sink t)
 
@@ -159,6 +164,7 @@ let chrome_args e =
   | Memout_poll -> [ ("heap_words", Json.Int e.a) ]
   | Retry -> [ ("attempt", Json.Int e.a) ]
   | Quarantine -> [ ("attempts", Json.Int e.a) ]
+  | Inprocess -> [ ("strengthened", Json.Int e.a); ("literals", Json.Int e.b) ]
   | Solve_begin | Solve_end -> [ ("width", Json.Int e.a) ]
 
 let to_chrome ?(pid = 1) ?(tid = 1) t =

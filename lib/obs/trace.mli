@@ -27,6 +27,9 @@ type kind =
   | Memout_poll  (** [a] = major-heap words at the poll. *)
   | Retry  (** [a] = attempt number about to start (≥ 2). *)
   | Quarantine  (** [a] = attempts spent before giving up. *)
+  | Inprocess
+      (** [a] = clauses strengthened or deleted, [b] = literals removed by
+          one bounded inprocessing pass. *)
 
 val kind_name : kind -> string
 

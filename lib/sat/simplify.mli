@@ -6,7 +6,13 @@
     (clause strengthening). Variable numbering is preserved, so a model of
     the simplified formula extends to one of the original via
     {!extend_model}. Used by the benchmark harness to quantify how much of
-    each encoding's advantage survives preprocessing. *)
+    each encoding's advantage survives preprocessing.
+
+    This module rewrites a {!Cnf.t} {e before} search and needs no proof
+    logging; {!Solver} additionally runs its own bounded {e inprocessing}
+    (self-subsumption + vivification over the solver's clause arena,
+    DRAT-logged) between restarts — see the [inprocess_every] and
+    [inprocess_budget] fields of {!Solver.config}. *)
 
 type stats = {
   units : int;  (** Literals fixed by unit propagation. *)

@@ -7,6 +7,8 @@ type config = {
   random_var_freq : float;
   phase_saving : bool;
   seed : int;
+  inprocess_every : int;
+  inprocess_budget : int;
 }
 
 let minisat_like =
@@ -17,6 +19,8 @@ let minisat_like =
     random_var_freq = 0.0;
     phase_saving = true;
     seed = 91648253;
+    inprocess_every = 8;
+    inprocess_budget = 12_000;
   }
 
 let siege_like =
@@ -27,6 +31,8 @@ let siege_like =
     random_var_freq = 0.01;
     phase_saving = true;
     seed = 2007;
+    inprocess_every = 8;
+    inprocess_budget = 12_000;
   }
 
 let default = minisat_like
@@ -94,17 +100,51 @@ module Rng = struct
   let int t bound = int_of_float (float t *. float_of_int bound)
 end
 
+(* Watcher lists: packed (blocker, cref) int pairs in a flat array, two
+   slots per watcher. The blocker is some other literal of the clause; when
+   it is already true the visit skips the clause dereference entirely, which
+   is the common case on dense instances (MiniSat/Glucose blocker trick).
+   Hand-rolled rather than an int Vec so the hot loop indexes one array with
+   no per-element bounds ceremony. *)
+type wlist = { mutable wdata : int array; mutable wsize : int }
+
+let wl_create () = { wdata = [||]; wsize = 0 }
+
+let wl_push w blocker cref =
+  let cap = Array.length w.wdata in
+  if w.wsize + 2 > cap then begin
+    let ndata = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit w.wdata 0 ndata 0 w.wsize;
+    w.wdata <- ndata
+  end;
+  w.wdata.(w.wsize) <- blocker;
+  w.wdata.(w.wsize + 1) <- cref;
+  w.wsize <- w.wsize + 2
+
+let wl_remove w cref =
+  let i = ref 0 in
+  while !i < w.wsize && w.wdata.(!i + 1) <> cref do
+    i := !i + 2
+  done;
+  if !i < w.wsize then begin
+    w.wdata.(!i) <- w.wdata.(w.wsize - 2);
+    w.wdata.(!i + 1) <- w.wdata.(w.wsize - 1);
+    w.wsize <- w.wsize - 2
+  end
+
 type state = {
   cfg : config;
   nvars : int;
-  (* clause database *)
-  clauses : Clause.t Vec.t;
-  learnts : Clause.t Vec.t;
-  watches : Clause.t Vec.t array; (* indexed by literal *)
+  (* clause database: all clauses live in one flat arena, referenced by
+     integer crefs; [db] is replaced wholesale on compaction *)
+  mutable db : Clause.t;
+  clauses : Clause.cref Vec.t;
+  learnts : Clause.cref Vec.t;
+  watches : wlist array; (* indexed by literal *)
   (* assignment *)
   assigns : int array; (* -1 false, 0 undef, 1 true; indexed by var *)
   level : int array;
-  reason : Clause.t option array;
+  reason : Clause.cref array; (* cref_undef when none *)
   trail : Lit.t Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
@@ -130,17 +170,17 @@ let value_lit st l =
 let decision_level st = Vec.size st.trail_lim
 
 let create cfg nvars proof =
-  let dummy_clause = Clause.make [||] in
   let activity = Array.make (max nvars 1) 0. in
   {
     cfg;
     nvars;
-    clauses = Vec.create ~dummy:dummy_clause ();
-    learnts = Vec.create ~dummy:dummy_clause ();
-    watches = Array.init (max (2 * nvars) 1) (fun _ -> Vec.create ~dummy:dummy_clause ());
+    db = Clause.create ();
+    clauses = Vec.create ~dummy:Clause.cref_undef ();
+    learnts = Vec.create ~dummy:Clause.cref_undef ();
+    watches = Array.init (max (2 * nvars) 1) (fun _ -> wl_create ());
     assigns = Array.make (max nvars 1) 0;
     level = Array.make (max nvars 1) 0;
-    reason = Array.make (max nvars 1) None;
+    reason = Array.make (max nvars 1) Clause.cref_undef;
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
@@ -169,10 +209,13 @@ let var_bump st v =
 
 let var_decay_tick st = st.var_inc <- st.var_inc /. st.cfg.var_decay
 
-let cla_bump st (c : Clause.t) =
-  c.Clause.activity <- c.Clause.activity +. st.cla_inc;
-  if c.Clause.activity > 1e20 then begin
-    Vec.iter (fun (d : Clause.t) -> d.Clause.activity <- d.Clause.activity *. 1e-20) st.learnts;
+let cla_bump st c =
+  let a = Clause.activity st.db c +. st.cla_inc in
+  Clause.set_activity st.db c a;
+  if a > 1e20 then begin
+    Vec.iter
+      (fun d -> Clause.set_activity st.db d (Clause.activity st.db d *. 1e-20))
+      st.learnts;
     st.cla_inc <- st.cla_inc *. 1e-20
   end
 
@@ -187,63 +230,99 @@ let enqueue st l reason =
   Vec.push st.trail l;
   st.stats.Stats.propagations <- st.stats.Stats.propagations + 1
 
-let attach_clause st (c : Clause.t) =
-  assert (Clause.size c >= 2);
-  Vec.push st.watches.(Lit.negate (Clause.get c 0)) c;
-  Vec.push st.watches.(Lit.negate (Clause.get c 1)) c
+(* The two watched literals of clause [c] are always its arena positions 0
+   and 1, and [c] sits exactly in the watch lists of their negations; every
+   attach, detach and in-place literal swap below preserves this. The
+   blocker stored alongside is the other watched literal (or, after a
+   blocker refresh in [propagate], the clause's first literal). *)
+let attach_clause st c =
+  let db = st.db in
+  let l0 = Clause.lit db c 0 and l1 = Clause.lit db c 1 in
+  wl_push st.watches.(Lit.negate l0) l1 c;
+  wl_push st.watches.(Lit.negate l1) l0 c
 
-(* Propagate all enqueued facts; returns the conflicting clause, if any. *)
+let detach_clause st c =
+  let db = st.db in
+  wl_remove st.watches.(Lit.negate (Clause.lit db c 0)) c;
+  wl_remove st.watches.(Lit.negate (Clause.lit db c 1)) c
+
+(* Propagate all enqueued facts; returns the conflicting cref, or
+   [Clause.cref_undef]. The hot loop works on the raw arena and raw watcher
+   arrays: a watcher visit whose blocker is satisfied touches no clause
+   memory at all, and the clause path reads literals from one contiguous
+   int array. No allocation on any path. *)
 let propagate st =
-  let conflict = ref None in
-  while !conflict = None && st.qhead < Vec.size st.trail do
+  let conflict = ref Clause.cref_undef in
+  let arena = Clause.raw st.db in
+  let assigns = st.assigns in
+  let value l = if l land 1 = 0 then assigns.(l lsr 1) else -assigns.(l lsr 1) in
+  while !conflict = Clause.cref_undef && st.qhead < Vec.size st.trail do
     let p = Vec.get st.trail st.qhead in
     st.qhead <- st.qhead + 1;
+    let false_lit = Lit.negate p in
     let ws = st.watches.(p) in
-    let n = Vec.size ws in
+    let wdata = ws.wdata in
+    let n = ws.wsize in
     let i = ref 0 and j = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
-      incr i;
-      if c.Clause.deleted then () (* lazily dropped from the watch list *)
+      let blocker = wdata.(!i) in
+      let cr = wdata.(!i + 1) in
+      i := !i + 2;
+      if value blocker = 1 then begin
+        wdata.(!j) <- blocker;
+        wdata.(!j + 1) <- cr;
+        j := !j + 2
+      end
       else begin
-        let false_lit = Lit.negate p in
-        if Clause.get c 0 = false_lit then Clause.swap c 0 1;
-        let first = Clause.get c 0 in
-        if value_lit st first = 1 then begin
-          Vec.set ws !j c;
-          incr j
+        let base = cr + Clause.header_words in
+        (* make sure the false literal is at position 1 *)
+        let l0 = arena.(base) in
+        if l0 = false_lit then begin
+          arena.(base) <- arena.(base + 1);
+          arena.(base + 1) <- l0
+        end;
+        let first = arena.(base) in
+        if first <> blocker && value first = 1 then begin
+          (* satisfied: keep the watcher, refresh the blocker *)
+          wdata.(!j) <- first;
+          wdata.(!j + 1) <- cr;
+          j := !j + 2
         end
         else begin
-          (* find a replacement watch among c[2..] *)
-          let rec find k =
-            if k >= Clause.size c then -1
-            else if value_lit st (Clause.get c k) <> -1 then k
-            else find (k + 1)
-          in
-          let k = find 2 in
-          if k >= 0 then begin
-            Clause.swap c 1 k;
-            Vec.push st.watches.(Lit.negate (Clause.get c 1)) c
+          (* find a replacement watch among positions 2.. *)
+          let size = arena.(cr) in
+          let k = ref 2 in
+          while !k < size && value arena.(base + !k) = -1 do
+            incr k
+          done;
+          if !k < size then begin
+            arena.(base + 1) <- arena.(base + !k);
+            arena.(base + !k) <- false_lit;
+            (* never the list being traversed: the new watch is non-false,
+               while [negate p] is false by construction *)
+            wl_push st.watches.(Lit.negate arena.(base + 1)) first cr
           end
           else begin
             (* clause is unit or conflicting *)
-            Vec.set ws !j c;
-            incr j;
-            if value_lit st first = -1 then begin
-              conflict := Some c;
+            wdata.(!j) <- first;
+            wdata.(!j + 1) <- cr;
+            j := !j + 2;
+            if value first = -1 then begin
+              conflict := cr;
               st.qhead <- Vec.size st.trail;
               while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr i;
-                incr j
+                wdata.(!j) <- wdata.(!i);
+                wdata.(!j + 1) <- wdata.(!i + 1);
+                i := !i + 2;
+                j := !j + 2
               done
             end
-            else enqueue st first (Some c)
+            else enqueue st first cr
           end
         end
       end
     done;
-    Vec.shrink ws !j
+    ws.wsize <- !j
   done;
   !conflict
 
@@ -256,7 +335,7 @@ let cancel_until st lvl =
         let v = Lit.var l in
         if st.cfg.phase_saving then st.phase.(v) <- Lit.sign l;
         st.assigns.(v) <- 0;
-        st.reason.(v) <- None;
+        st.reason.(v) <- Clause.cref_undef;
         if not (Heap.in_heap st.order v) then Heap.insert st.order v;
         pop ()
       end
@@ -266,25 +345,34 @@ let cancel_until st lvl =
     Vec.shrink st.trail_lim lvl
   end
 
+(* Every decision level — free decision or assumption — goes through here,
+   so [max_decision_level] also counts assumption ladders (server sessions
+   open one level per assumption before any free decision). *)
+let new_decision_level st =
+  Vec.push st.trail_lim (Vec.size st.trail);
+  let dl = Vec.size st.trail_lim in
+  if dl > st.stats.Stats.max_decision_level then
+    st.stats.Stats.max_decision_level <- dl
+
 (* First-UIP conflict analysis with basic (non-recursive) minimisation.
    Returns the learnt clause (asserting literal first, a literal of the
    second-highest level at index 1), the backtrack level and the LBD. *)
 let analyze st confl =
+  let db = st.db in
   let learnt = ref [] in
   let to_clear = ref [] in
   let path_c = ref 0 in
   let p = ref (-1) in
   let index = ref (Vec.size st.trail - 1) in
-  let confl = ref (Some confl) in
+  let confl = ref confl in
   let continue = ref true in
   while !continue do
-    let c =
-      match !confl with Some c -> c | None -> assert false
-    in
-    if c.Clause.learnt then cla_bump st c;
+    let c = !confl in
+    assert (c <> Clause.cref_undef);
+    if Clause.learnt db c then cla_bump st c;
     let start = if !p = -1 then 0 else 1 in
-    for jj = start to Clause.size c - 1 do
-      let q = Clause.get c jj in
+    for jj = start to Clause.size db c - 1 do
+      let q = Clause.lit db c jj in
       let v = Lit.var q in
       if (not st.seen.(v)) && st.level.(v) > 0 then begin
         var_bump st v;
@@ -309,16 +397,16 @@ let analyze st confl =
   (* basic minimisation: drop literals implied by the rest of the clause *)
   let keep q =
     let v = Lit.var q in
-    match st.reason.(v) with
-    | None -> true
-    | Some r ->
-        let rec any k =
-          k < Clause.size r
-          &&
-          let w = Lit.var (Clause.get r k) in
-          ((not st.seen.(w)) && st.level.(w) > 0) || any (k + 1)
-        in
-        any 1
+    let r = st.reason.(v) in
+    r = Clause.cref_undef
+    ||
+    let rec any k =
+      k < Clause.size db r
+      &&
+      let w = Lit.var (Clause.lit db r k) in
+      ((not st.seen.(w)) && st.level.(w) > 0) || any (k + 1)
+    in
+    any 1
   in
   let minimised = List.filter keep !learnt in
   List.iter (fun v -> st.seen.(v) <- false) !to_clear;
@@ -350,39 +438,88 @@ let analyze st confl =
       (arr, blevel, lbd)
   | [] -> assert false
 
-let locked st (c : Clause.t) =
-  Clause.size c > 0
+let locked st c =
+  let db = st.db in
+  Clause.size db c > 0
   &&
-  let v = Lit.var (Clause.get c 0) in
-  match st.reason.(v) with Some r -> r == c | None -> false
+  let l0 = Clause.lit db c 0 in
+  value_lit st l0 = 1 && st.reason.(Lit.var l0) = c
 
 let record_proof_add st lits =
   match st.proof with Some p -> Proof.add p lits | None -> ()
 
-let record_proof_delete st (c : Clause.t) =
-  match st.proof with Some p -> Proof.delete p (Clause.to_list c) | None -> ()
+(* Array variants convert to the proof's list representation only when a
+   proof is actually being recorded, so proof-less solving never pays the
+   per-conflict list allocation. *)
+let record_proof_add_arr st lits =
+  match st.proof with Some p -> Proof.add_array p lits | None -> ()
+
+let record_proof_delete st c =
+  match st.proof with
+  | Some p -> Proof.delete p (Clause.to_list st.db c)
+  | None -> ()
+
+(* Compact the clause arena: copy live clauses into a fresh arena (leaving
+   forwarding pointers behind), remap the clause lists and locked reasons,
+   and rebuild the watch lists. Nothing else holds crefs, so after this the
+   arena contains no dead words and watchers reference live clauses only —
+   the invariant [propagate] relies on to skip any deleted-check. *)
+let gc st =
+  let db = st.db in
+  let live = Clause.fill db - Clause.wasted db in
+  let ndb = Clause.create ~capacity:(max live 16) () in
+  let remap vec =
+    for i = 0 to Vec.size vec - 1 do
+      Vec.set vec i (Clause.reloc ~src:db ~dst:ndb (Vec.get vec i))
+    done
+  in
+  remap st.clauses;
+  remap st.learnts;
+  for v = 0 to st.nvars - 1 do
+    let r = st.reason.(v) in
+    if st.assigns.(v) <> 0 && r <> Clause.cref_undef then
+      (* deleted reasons can only back level-0 literals (inprocessing runs
+         at level 0; reduce_db never deletes locked clauses), and level-0
+         reasons are never dereferenced — drop them *)
+      st.reason.(v) <-
+        (if Clause.deleted db r then Clause.cref_undef
+         else Clause.reloc ~src:db ~dst:ndb r)
+    else st.reason.(v) <- Clause.cref_undef
+  done;
+  st.db <- ndb;
+  Array.iter (fun w -> w.wsize <- 0) st.watches;
+  Vec.iter (fun c -> attach_clause st c) st.clauses;
+  Vec.iter (fun c -> attach_clause st c) st.learnts
 
 let reduce_db st =
+  let db = st.db in
   (* Sort learnts: prefer deleting low-activity, high-LBD clauses. *)
   let arr = Array.init (Vec.size st.learnts) (Vec.get st.learnts) in
   Array.sort
-    (fun (a : Clause.t) (b : Clause.t) ->
-      compare (a.Clause.activity, -a.Clause.lbd) (b.Clause.activity, -b.Clause.lbd))
+    (fun a b ->
+      compare
+        (Clause.activity db a, -Clause.lbd db a)
+        (Clause.activity db b, -Clause.lbd db b))
     arr;
   let n = Array.length arr in
   let limit = n / 2 in
   let deleted = ref 0 in
   Array.iteri
-    (fun idx (c : Clause.t) ->
-      if idx < limit && Clause.size c > 2 && (not (locked st c)) && c.Clause.lbd > 2
+    (fun idx c ->
+      if
+        idx < limit
+        && Clause.size db c > 2
+        && (not (locked st c))
+        && Clause.lbd db c > 2
       then begin
-        c.Clause.deleted <- true;
         record_proof_delete st c;
+        Clause.set_deleted db c;
         incr deleted
       end)
     arr;
-  Vec.filter_in_place (fun (c : Clause.t) -> not c.Clause.deleted) st.learnts;
-  st.stats.Stats.deleted_clauses <- st.stats.Stats.deleted_clauses + !deleted
+  Vec.filter_in_place (fun c -> not (Clause.deleted db c)) st.learnts;
+  st.stats.Stats.deleted_clauses <- st.stats.Stats.deleted_clauses + !deleted;
+  gc st
 
 let pick_branch_var st =
   let random_pick () =
@@ -426,10 +563,11 @@ exception Out_of_memory_budget
 
 (* Load the problem clauses into a fresh state; level-0 units go straight
    onto the trail, and [st.ok] turns false on an immediate conflict. Clause
-   views come straight from the arena: satisfied clauses are skipped and
-   false literals dropped in a counting pass, so only the surviving watched
-   clauses allocate (exactly-sized, owned by the solver). *)
+   views come straight from the CNF arena: satisfied clauses are skipped and
+   false literals dropped in a counting pass, and survivors are copied
+   directly into the solver's clause arena. *)
 let load_clauses st cnf =
+  let scratch = ref [||] in
   Cnf.iter_clauses' cnf ~f:(fun arena off len ->
       if st.ok then begin
         let satisfied = ref false in
@@ -450,15 +588,16 @@ let load_clauses st cnf =
             for k = off to off + len - 1 do
               if value_lit st arena.(k) = 0 then unit := arena.(k)
             done;
-            enqueue st !unit None;
-            match propagate st with
-            | Some _ ->
-                record_proof_add st [];
-                st.ok <- false
-            | None -> ()
+            enqueue st !unit Clause.cref_undef;
+            if propagate st <> Clause.cref_undef then begin
+              record_proof_add st [];
+              st.ok <- false
+            end
           end
           else begin
-            let out = Array.make !keep 0 in
+            if Array.length !scratch < !keep then
+              scratch := Array.make (max !keep 16) 0;
+            let out = !scratch in
             let j = ref 0 in
             for k = off to off + len - 1 do
               let l = arena.(k) in
@@ -467,7 +606,7 @@ let load_clauses st cnf =
                 incr j
               end
             done;
-            let c = Clause.make out in
+            let c = Clause.alloc st.db (Array.sub out 0 !keep) in
             Vec.push st.clauses c;
             attach_clause st c
           end
@@ -480,6 +619,7 @@ type solver = {
   st : state;
   mutable max_learnts : int;
   mutable restart_count : int;
+  mutable vivify_head : int;
 }
 
 type query_result =
@@ -491,9 +631,268 @@ type query_result =
 let create ?(config = default) ?proof cnf =
   let st = create config (Cnf.num_vars cnf) proof in
   load_clauses st cnf;
-  { st; max_learnts = max 1000 (Vec.size st.clauses / 3); restart_count = 0 }
+  {
+    st;
+    max_learnts = max 1000 (Vec.size st.clauses / 3);
+    restart_count = 0;
+    vivify_head = 0;
+  }
 
 let solver_stats s = s.st.stats
+
+(* ---------- bounded inprocessing ----------
+
+   Runs between restarts, at decision level 0, under an explicit work
+   budget ([cfg.inprocess_budget], roughly propagations). Two rewriting
+   rules, both producing RUP clauses so certified runs stay checkable:
+
+   - self-subsumption: if (C \ {l}) ⊆ D and ¬l ∈ D then D' = D \ {¬l} is
+     the resolvent of C and D on l, hence implied and RUP (assuming ¬D'
+     makes C force l, falsifying D).
+   - vivification: detach C = (l1 ... lk), assume ¬l1, ¬l2, ... in order;
+     a false li is dropped (propagation from the earlier negations already
+     derives ¬li), a true li or a propagation conflict closes a shorter
+     prefix clause that is RUP by the same propagations. Detaching first is
+     essential: C must not propagate in its own vivification.
+
+   DRAT obligation: the strengthened clause is added *before* the original
+   is deleted, so the checker's database never loses the inference. *)
+
+let subsume_size_limit = 16
+
+(* Install the RUP strengthening [out] of problem clause [c]; [c] must
+   already be detached. Emits the addition before the deletion, drops
+   literals false at level 0 from [out] (also RUP: level-0 units falsify
+   them), and when [out] is satisfied at level 0 only deletes [c] — the
+   replacement would be redundant. The surviving literals are all unassigned
+   at level 0, so attaching the replacement respects the watch invariant.
+   Raises [Found_unsat] on a derived level-0 conflict. *)
+let install_strengthened st c out =
+  let sat0 = ref false and undef = ref 0 in
+  Array.iter
+    (fun l ->
+      match value_lit st l with
+      | 1 -> sat0 := true
+      | 0 -> incr undef
+      | _ -> ())
+    out;
+  if !sat0 then begin
+    (* the original is satisfied by level-0 units: drop it outright *)
+    record_proof_delete st c;
+    Clause.set_deleted st.db c
+  end
+  else begin
+    let final = Array.make (max !undef 1) 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun l ->
+        if value_lit st l = 0 then begin
+          final.(!j) <- l;
+          incr j
+        end)
+      out;
+    let final = Array.sub final 0 !undef in
+    record_proof_add_arr st final;
+    record_proof_delete st c;
+    Clause.set_deleted st.db c;
+    match !undef with
+    | 0 ->
+        st.ok <- false;
+        raise Found_unsat
+    | 1 ->
+        enqueue st final.(0) Clause.cref_undef;
+        if propagate st <> Clause.cref_undef then begin
+          record_proof_add st [];
+          st.ok <- false;
+          raise Found_unsat
+        end
+    | _ ->
+        let nc = Clause.alloc st.db final in
+        attach_clause st nc;
+        Vec.push st.clauses nc
+  end
+
+(* Replace attached problem clause [c] by [c] minus [remove], at level 0. *)
+let strengthen_clause st c ~remove =
+  let db = st.db in
+  let n = Clause.size db c in
+  let out = Array.make (n - 1) 0 in
+  let j = ref 0 in
+  for k = 0 to n - 1 do
+    let q = Clause.lit db c k in
+    if q <> remove then begin
+      out.(!j) <- q;
+      incr j
+    end
+  done;
+  detach_clause st c;
+  install_strengthened st c out
+
+let self_subsume st fuel strengthened removed =
+  let db = st.db in
+  let nlits = max (2 * st.nvars) 1 in
+  let occ = Array.make nlits [] in
+  Vec.iter
+    (fun c ->
+      if (not (Clause.deleted db c)) && Clause.size db c <= subsume_size_limit
+      then
+        for k = 0 to Clause.size db c - 1 do
+          let l = Clause.lit db c k in
+          occ.(l) <- c :: occ.(l)
+        done)
+    st.clauses;
+  let mark = Array.make nlits 0 in
+  let stamp = ref 0 in
+  let n0 = Vec.size st.clauses in
+  let i = ref 0 in
+  while !i < n0 && !fuel > 0 do
+    let c = Vec.get st.clauses !i in
+    incr i;
+    if (not (Clause.deleted db c)) && Clause.size db c <= subsume_size_limit
+    then begin
+      incr stamp;
+      let csize = Clause.size db c in
+      for k = 0 to csize - 1 do
+        mark.(Clause.lit db c k) <- !stamp
+      done;
+      let k = ref 0 in
+      while !k < csize && !fuel > 0 do
+        let l = Clause.lit db c !k in
+        incr k;
+        let nl = Lit.negate l in
+        List.iter
+          (fun d ->
+            if
+              !fuel > 0 && d <> c
+              && (not (Clause.deleted db d))
+              && (not (Clause.deleted db c))
+              && Clause.size db d >= csize
+              && not (locked st d)
+            then begin
+              let dsize = Clause.size db d in
+              fuel := !fuel - dsize;
+              let found = ref 0 and has_nl = ref false in
+              for q = 0 to dsize - 1 do
+                let lq = Clause.lit db d q in
+                if lq = nl then has_nl := true
+                else if lq <> l && mark.(lq) = !stamp then incr found
+              done;
+              if !has_nl && !found >= csize - 1 then begin
+                strengthen_clause st d ~remove:nl;
+                incr strengthened;
+                incr removed
+              end
+            end)
+          occ.(nl)
+      done
+    end
+  done
+
+let vivify s fuel strengthened removed =
+  let st = s.st in
+  let n0 = Vec.size st.clauses in
+  let tried = ref 0 in
+  while n0 > 0 && !tried < n0 && !fuel > 0 do
+    incr tried;
+    let idx = s.vivify_head mod n0 in
+    s.vivify_head <- s.vivify_head + 1;
+    let c = Vec.get st.clauses idx in
+    let db = st.db in
+    if (not (Clause.deleted db c)) && Clause.size db c >= 3 && not (locked st c)
+    then begin
+      let n = Clause.size db c in
+      fuel := !fuel - n;
+      let satisfied = ref false in
+      for k = 0 to n - 1 do
+        if value_lit st (Clause.lit db c k) = 1 then satisfied := true
+      done;
+      if !satisfied then begin
+        (* true at level 0 in every model: deleting it preserves models *)
+        detach_clause st c;
+        record_proof_delete st c;
+        Clause.set_deleted db c;
+        incr strengthened
+      end
+      else begin
+        let lits = Array.init n (Clause.lit db c) in
+        detach_clause st c;
+        let props0 = st.stats.Stats.propagations in
+        let kept = ref [] in
+        let kept_n = ref 0 in
+        let closed = ref false in
+        (* the kept prefix is RUP on its own: drop the suffix *)
+        let stop = ref false in
+        let k = ref 0 in
+        while (not !stop) && !k < n do
+          let l = lits.(!k) in
+          incr k;
+          (match value_lit st l with
+          | 1 ->
+              (* implied by the negated prefix: close the clause here *)
+              kept := l :: !kept;
+              incr kept_n;
+              closed := true;
+              stop := true
+          | -1 -> () (* redundant: already false under the prefix *)
+          | _ ->
+              (* internal probing level: bypass [new_decision_level] so the
+                 depth telemetry only counts real search levels *)
+              Vec.push st.trail_lim (Vec.size st.trail);
+              enqueue st (Lit.negate l) Clause.cref_undef;
+              kept := l :: !kept;
+              incr kept_n;
+              if propagate st <> Clause.cref_undef then begin
+                closed := true;
+                stop := true
+              end);
+          if st.stats.Stats.propagations - props0 > !fuel then stop := true
+        done;
+        (* a budget stop mid-scan must keep the unexamined suffix *)
+        if not !closed then
+          while !k < n do
+            kept := lits.(!k) :: !kept;
+            incr kept_n;
+            incr k
+          done;
+        cancel_until st 0;
+        fuel := !fuel - (st.stats.Stats.propagations - props0);
+        if !kept_n < n then begin
+          let out = Array.of_list (List.rev !kept) in
+          incr strengthened;
+          removed := !removed + (n - !kept_n);
+          install_strengthened st c out
+        end
+        else attach_clause st c
+      end
+    end
+  done
+
+let inprocess s on_event =
+  let st = s.st in
+  assert (decision_level st = 0);
+  let fuel = ref st.cfg.inprocess_budget in
+  let strengthened = ref 0 in
+  let removed = ref 0 in
+  let finish () =
+    Vec.filter_in_place (fun c -> not (Clause.deleted st.db c)) st.clauses;
+    let db = st.db in
+    if Clause.wasted db * 4 > Clause.fill db then gc st;
+    st.stats.Stats.inprocess_rounds <- st.stats.Stats.inprocess_rounds + 1;
+    st.stats.Stats.inprocess_strengthened <-
+      st.stats.Stats.inprocess_strengthened + !strengthened;
+    st.stats.Stats.inprocess_literals <-
+      st.stats.Stats.inprocess_literals + !removed;
+    match on_event with
+    | None -> ()
+    | Some f -> f (Event.Inprocess (!strengthened, !removed))
+  in
+  (try
+     self_subsume st fuel strengthened removed;
+     vivify s fuel strengthened removed
+   with Found_unsat ->
+     finish ();
+     raise Found_unsat);
+  finish ()
 
 (* One search episode under the given assumption literals. The trail is
    reset to level 0 first; learnt clauses and activities persist across
@@ -518,115 +917,141 @@ let run_search s budget assumptions =
      in a default closure: with the hook absent the emission is one branch
      on an immediate and no event value is ever allocated. *)
   let on_event = budget.on_event in
-  let over_memory () =
+  let memory_exceeded () =
     match budget.max_memory_mb with
-    | Some mb when at_poll_point () ->
+    | None -> false
+    | Some mb ->
         let words = heap_words () in
         Stats.note_heap_words st.stats words;
         (match on_event with
         | None -> ()
         | Some f -> f (Event.Memout_poll words));
         words_to_megabytes words > float_of_int mb
-    | Some _ | None -> false
   in
-  let over_budget () =
-    (match budget.max_conflicts with
-    | Some m when st.stats.Stats.conflicts - start_conflicts >= m -> true
-    | Some _ | None -> false)
-    || (match budget.max_seconds with
-       | Some sec when at_poll_point () ->
-           Unix.gettimeofday () -. start_time > sec
-       | Some _ | None -> false)
+  let time_or_interrupt_exceeded () =
+    (match budget.max_seconds with
+    | Some sec -> Unix.gettimeofday () -. start_time > sec
+    | None -> false)
     || match budget.interrupt with
-       | Some f when at_poll_point () ->
+       | Some f ->
            (* a hook that raises is treated as an interrupt that fired: the
               cell ends as [Q_unknown] (classifiable by the supervisor)
               instead of crashing with a foreign exception *)
            (try f () with _ -> true)
-       | Some _ | None -> false
+       | None -> false
   in
+  let over_conflicts () =
+    match budget.max_conflicts with
+    | Some m -> st.stats.Stats.conflicts - start_conflicts >= m
+    | None -> false
+  in
+  (* Conflict-free episodes (a decision dive on a huge satisfiable
+     instance) never hit the conflict-granularity polls above, so the wall
+     clock, interrupt and memory limits are also polled on a propagation
+     counter: one check every [poll_every * 64] propagations keeps the
+     [poll_every] dial meaningful on both axes. *)
+  let passive =
+    budget.max_seconds = None && budget.interrupt = None
+    && budget.max_memory_mb = None
+  in
+  let prop_poll_stride = poll_every * 64 in
+  let next_prop_poll = ref (st.stats.Stats.propagations + prop_poll_stride) in
   let result = ref Q_unknown in
   (try
      if not st.ok then raise Found_unsat;
-     (match propagate st with
-     | Some _ ->
-         record_proof_add st [];
-         raise Found_unsat
-     | None -> ());
+     if propagate st <> Clause.cref_undef then begin
+       record_proof_add st [];
+       raise Found_unsat
+     end;
      let finished = ref false in
      while not !finished do
-       match propagate st with
-       | Some confl ->
-           st.stats.Stats.conflicts <- st.stats.Stats.conflicts + 1;
-           incr conflicts_at_restart;
-           if decision_level st = 0 then begin
-             record_proof_add st [];
-             raise Found_unsat
-           end;
-           let learnt, blevel, lbd = analyze st confl in
-           Stats.bump_lbd st.stats lbd;
-           record_proof_add st (Array.to_list learnt);
-           cancel_until st blevel;
-           (if Array.length learnt = 1 then enqueue st learnt.(0) None
-            else begin
-              let c = Clause.make ~learnt:true learnt in
-              c.Clause.lbd <- lbd;
-              Vec.push st.learnts c;
-              attach_clause st c;
-              cla_bump st c;
-              enqueue st learnt.(0) (Some c)
-            end);
-           st.stats.Stats.learnt_clauses <- st.stats.Stats.learnt_clauses + 1;
-           var_decay_tick st;
-           cla_decay_tick st;
-           if over_memory () then raise Out_of_memory_budget;
-           if over_budget () then raise Out_of_budget
-       | None ->
-           if !conflicts_at_restart >= restart_limit st s.restart_count then begin
-             s.restart_count <- s.restart_count + 1;
-             conflicts_at_restart := 0;
-             st.stats.Stats.restarts <- st.stats.Stats.restarts + 1;
+       let confl = propagate st in
+       if confl <> Clause.cref_undef then begin
+         st.stats.Stats.conflicts <- st.stats.Stats.conflicts + 1;
+         incr conflicts_at_restart;
+         if decision_level st = 0 then begin
+           record_proof_add st [];
+           raise Found_unsat
+         end;
+         let learnt, blevel, lbd = analyze st confl in
+         Stats.bump_lbd st.stats lbd;
+         record_proof_add_arr st learnt;
+         cancel_until st blevel;
+         (if Array.length learnt = 1 then enqueue st learnt.(0) Clause.cref_undef
+          else begin
+            let c = Clause.alloc ~learnt:true st.db learnt in
+            Clause.set_lbd st.db c lbd;
+            Vec.push st.learnts c;
+            attach_clause st c;
+            cla_bump st c;
+            enqueue st learnt.(0) c
+          end);
+         st.stats.Stats.learnt_clauses <- st.stats.Stats.learnt_clauses + 1;
+         var_decay_tick st;
+         cla_decay_tick st;
+         if at_poll_point () then begin
+           if memory_exceeded () then raise Out_of_memory_budget;
+           if time_or_interrupt_exceeded () then raise Out_of_budget
+         end;
+         if over_conflicts () then raise Out_of_budget
+       end
+       else begin
+         if
+           (not passive)
+           && st.stats.Stats.propagations >= !next_prop_poll
+         then begin
+           next_prop_poll := st.stats.Stats.propagations + prop_poll_stride;
+           if memory_exceeded () then raise Out_of_memory_budget;
+           if time_or_interrupt_exceeded () then raise Out_of_budget
+         end;
+         if !conflicts_at_restart >= restart_limit st s.restart_count then begin
+           s.restart_count <- s.restart_count + 1;
+           conflicts_at_restart := 0;
+           st.stats.Stats.restarts <- st.stats.Stats.restarts + 1;
+           (match on_event with
+           | None -> ()
+           | Some f -> f (Event.Restart s.restart_count));
+           cancel_until st 0;
+           if
+             st.cfg.inprocess_every > 0
+             && s.restart_count mod st.cfg.inprocess_every = 0
+           then inprocess s on_event
+         end
+         else begin
+           if Vec.size st.learnts >= s.max_learnts then begin
+             let before = Vec.size st.learnts in
+             reduce_db st;
              (match on_event with
              | None -> ()
-             | Some f -> f (Event.Restart s.restart_count));
-             cancel_until st 0
+             | Some f ->
+                 f (Event.Reduce_db (before, before - Vec.size st.learnts)));
+             s.max_learnts <- int_of_float (float_of_int s.max_learnts *. 1.1)
+           end;
+           (* establish pending assumptions before free decisions *)
+           let dl = decision_level st in
+           if dl < Array.length assumptions then begin
+             let l = assumptions.(dl) in
+             match value_lit st l with
+             | -1 -> raise Assumption_failed
+             | 1 ->
+                 (* already implied: open an empty decision level *)
+                 new_decision_level st
+             | _ ->
+                 st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
+                 new_decision_level st;
+                 enqueue st l Clause.cref_undef
            end
-           else begin
-             if Vec.size st.learnts >= s.max_learnts then begin
-               let before = Vec.size st.learnts in
-               reduce_db st;
-               (match on_event with
-               | None -> ()
-               | Some f ->
-                   f (Event.Reduce_db (before, before - Vec.size st.learnts)));
-               s.max_learnts <- int_of_float (float_of_int s.max_learnts *. 1.1)
-             end;
-             (* establish pending assumptions before free decisions *)
-             let dl = decision_level st in
-             if dl < Array.length assumptions then begin
-               let l = assumptions.(dl) in
-               match value_lit st l with
-               | -1 -> raise Assumption_failed
-               | 1 ->
-                   (* already implied: open an empty decision level *)
-                   Vec.push st.trail_lim (Vec.size st.trail)
-               | _ ->
-                   st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
-                   Vec.push st.trail_lim (Vec.size st.trail);
-                   enqueue st l None
-             end
-             else
-               match pick_branch_var st with
-               | None ->
-                   result := Q_sat (extract_model st);
-                   finished := true
-               | Some v ->
-                   st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
-                   Vec.push st.trail_lim (Vec.size st.trail);
-                   if decision_level st > st.stats.Stats.max_decision_level then
-                     st.stats.Stats.max_decision_level <- decision_level st;
-                   enqueue st (Lit.make v st.phase.(v)) None
-           end
+           else
+             match pick_branch_var st with
+             | None ->
+                 result := Q_sat (extract_model st);
+                 finished := true
+             | Some v ->
+                 st.stats.Stats.decisions <- st.stats.Stats.decisions + 1;
+                 new_decision_level st;
+                 enqueue st (Lit.make v st.phase.(v)) Clause.cref_undef
+         end
+       end
      done
    with
   | Found_unsat ->

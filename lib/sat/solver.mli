@@ -5,6 +5,16 @@
     analysis with basic clause minimisation, phase saving, scheduled restarts
     and activity-driven learnt-clause database reduction.
 
+    The propagation core is cache-conscious: all clauses live in one flat
+    int arena ({!Clause}) referenced by integer crefs, watch lists are packed
+    [(blocker, cref)] int pairs so a visit whose blocker literal is already
+    satisfied never touches clause memory, and database reduction compacts
+    the arena (relocating live clauses and rebuilding watches) instead of
+    leaving lazily-deleted garbage pinned by watch lists. Between restarts
+    the solver runs bounded inprocessing — self-subsumption and clause
+    vivification under an explicit work budget (see {!config}) — emitting
+    DRAT add/delete steps so certified runs stay checkable.
+
     Two tuning presets mirror the two solvers used in the paper (siege_v4 and
     MiniSat): {!siege_like} restarts aggressively with a faster activity
     decay, {!minisat_like} uses Luby restarts with the classic decay. Both are
@@ -21,6 +31,13 @@ type config = {
   random_var_freq : float;  (** Probability of a random decision variable. *)
   phase_saving : bool;
   seed : int;  (** Seed for the internal deterministic RNG. *)
+  inprocess_every : int;
+      (** Run a bounded inprocessing pass (self-subsumption + vivification)
+          every this many restarts; [0] disables inprocessing. *)
+  inprocess_budget : int;
+      (** Work budget per inprocessing pass, in units of roughly one
+          propagation (subsumption checks are charged by literals
+          scanned). *)
 }
 
 val minisat_like : config
@@ -51,16 +68,19 @@ type budget = {
           treated as the interrupt having fired (the search still ends as
           [Unknown]); it never escapes as a crash. *)
   poll_every : int;
-      (** Poll granularity, in conflicts: [max_seconds] and [interrupt] are
-          only checked when the episode's conflict count is a multiple of
-          [poll_every] (default {!default_poll_interval} = 256). Cancellation
-          latency is therefore up to [poll_every] conflicts plus the work
-          between two conflicts; lower it for tighter cancellation, at the
-          cost of calling the hook more often. [max_conflicts] is exact and
-          unaffected. *)
+      (** Poll granularity: [max_seconds], [interrupt] and [max_memory_mb]
+          are checked when the episode's conflict count is a multiple of
+          [poll_every] (default {!default_poll_interval} = 256), and
+          additionally every [poll_every * 64] propagations — so a
+          conflict-free decision dive on a huge satisfiable instance still
+          honours its wall-clock, interrupt and memory budgets. Cancellation
+          latency is bounded by whichever poll fires first; lower
+          [poll_every] for tighter cancellation, at the cost of calling the
+          hooks more often. [max_conflicts] is exact and unaffected. *)
   on_event : (Event.t -> unit) option;
       (** Observability hook: called synchronously from the search loop on
-          restarts, learnt-database reductions and memory polls (see
+          restarts, learnt-database reductions, inprocessing passes and
+          memory polls (see
           {!Event.t}). With the default [None] the solver allocates no event
           values and each emission site is a single branch, so tracing is
           free when disabled. The hook runs on the solving domain; it must

@@ -9,6 +9,9 @@ type t = {
   mutable learnt_literals : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+  mutable inprocess_rounds : int;
+  mutable inprocess_strengthened : int;
+  mutable inprocess_literals : int;
   lbd_hist : int array;
   mutable peak_heap_words : int;
 }
@@ -23,6 +26,9 @@ let create () =
     learnt_literals = 0;
     deleted_clauses = 0;
     max_decision_level = 0;
+    inprocess_rounds = 0;
+    inprocess_strengthened = 0;
+    inprocess_literals = 0;
     lbd_hist = Array.make lbd_buckets 0;
     peak_heap_words = 0;
   }
@@ -37,6 +43,7 @@ let note_heap_words t words =
 let pp fmt s =
   Format.fprintf fmt
     "decisions=%d propagations=%d conflicts=%d restarts=%d learnt=%d \
-     deleted=%d max_level=%d"
+     deleted=%d max_level=%d inprocessed=%d/%d"
     s.decisions s.propagations s.conflicts s.restarts s.learnt_clauses
-    s.deleted_clauses s.max_decision_level
+    s.deleted_clauses s.max_decision_level s.inprocess_strengthened
+    s.inprocess_literals

@@ -12,6 +12,16 @@ type t = {
   mutable learnt_literals : int;
   mutable deleted_clauses : int;
   mutable max_decision_level : int;
+      (** Deepest decision level opened, counting both free decisions and
+          assumption levels (one per assumption, including levels an
+          already-implied assumption opens empty). *)
+  mutable inprocess_rounds : int;
+      (** Bounded inprocessing passes run between restarts. *)
+  mutable inprocess_strengthened : int;
+      (** Clauses strengthened or deleted by inprocessing (self-subsumption
+          and vivification). *)
+  mutable inprocess_literals : int;
+      (** Literals removed from clauses by inprocessing. *)
   lbd_hist : int array;
       (** Histogram of learnt-clause LBD (literal block distance): bucket
           [i] counts clauses with LBD [i] for [i < lbd_buckets - 1], and the

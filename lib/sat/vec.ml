@@ -36,15 +36,24 @@ let last v =
   if v.size = 0 then invalid_arg "Vec.last";
   v.data.(v.size - 1)
 
-let clear v = v.size <- 0
+(* Vacated slots are overwritten with [dummy] everywhere below: boxed
+   elements kept alive past [size] are invisible to clients but visible to
+   the GC, so a watch list shrunk during propagation would otherwise pin
+   every clause it ever held. *)
+
+let clear v =
+  Array.fill v.data 0 v.size v.dummy;
+  v.size <- 0
 
 let shrink v n =
   if n < 0 || n > v.size then invalid_arg "Vec.shrink";
+  Array.fill v.data n (v.size - n) v.dummy;
   v.size <- n
 
 let swap_remove v i =
   if i < 0 || i >= v.size then invalid_arg "Vec.swap_remove";
   v.data.(i) <- v.data.(v.size - 1);
+  v.data.(v.size - 1) <- v.dummy;
   v.size <- v.size - 1
 
 let iter f v =
@@ -73,4 +82,5 @@ let filter_in_place p v =
       incr j
     end
   done;
+  Array.fill v.data !j (v.size - !j) v.dummy;
   v.size <- !j

@@ -1,7 +1,10 @@
 (** Growable arrays, used for watcher lists and clause databases.
 
     A thin dynamic-array layer over [Array]; elements beyond [size] are
-    garbage and must not be observed. *)
+    garbage and must not be observed. Every operation that vacates slots
+    ([pop], [clear], [shrink], [swap_remove], [filter_in_place]) overwrites
+    them with [dummy] so removed elements become unreachable and the GC can
+    collect them. *)
 
 type 'a t
 

@@ -68,6 +68,11 @@ let diff (before : Sat.Stats.t) (after : Sat.Stats.t) =
   d.Sat.Stats.learnt_clauses <- after.learnt_clauses - before.learnt_clauses;
   d.Sat.Stats.learnt_literals <- after.learnt_literals - before.learnt_literals;
   d.Sat.Stats.deleted_clauses <- after.deleted_clauses - before.deleted_clauses;
+  d.Sat.Stats.inprocess_rounds <- after.inprocess_rounds - before.inprocess_rounds;
+  d.Sat.Stats.inprocess_strengthened <-
+    after.inprocess_strengthened - before.inprocess_strengthened;
+  d.Sat.Stats.inprocess_literals <-
+    after.inprocess_literals - before.inprocess_literals;
   d.Sat.Stats.max_decision_level <- after.max_decision_level;
   Array.iteri
     (fun i b -> d.Sat.Stats.lbd_hist.(i) <- after.lbd_hist.(i) - b)

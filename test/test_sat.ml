@@ -238,6 +238,48 @@ let test_vec_basics () =
   Vec.swap_remove v 0;
   Alcotest.(check int) "swap_remove moved last" 98 (Vec.get v 0)
 
+(* Every Vec operation that vacates slots must overwrite them with the
+   dummy: a stale pointer beyond [size] would pin the removed element for
+   the lifetime of the vector (watch lists live as long as the solver). The
+   weak array observes collection directly. *)
+let test_vec_gc_release () =
+  let v = Vec.create ~dummy:(Bytes.create 0) () in
+  let w = Weak.create 6 in
+  for i = 0 to 5 do
+    let b = Bytes.make 32 (Char.chr (Char.code 'a' + i)) in
+    Weak.set w i (Some b);
+    Vec.push v b
+  done;
+  Vec.shrink v 4;
+  (* [b0..b3] remain *)
+  Vec.swap_remove v 0;
+  (* drops b0, moves b3 into its slot: [b3; b1; b2] *)
+  Vec.filter_in_place (fun b -> Bytes.get b 0 <> 'b') v;
+  (* drops b1: [b3; b2] *)
+  Gc.full_major ();
+  Gc.full_major ();
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d collected" i)
+        false (Weak.check w i))
+    [ 0; 1; 4; 5 ];
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d still live" i)
+        true (Weak.check w i))
+    [ 2; 3 ];
+  Vec.clear v;
+  Gc.full_major ();
+  Gc.full_major ();
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "element %d collected after clear" i)
+        false (Weak.check w i))
+    [ 2; 3 ]
+
 (* --- solver on hand-written formulas --- *)
 
 let test_solver_empty_formula () =
@@ -303,6 +345,53 @@ let test_solver_budget_unknown () =
       Alcotest.(check bool) "few conflicts" true (stats.Fpgasat_sat.Stats.conflicts <= 6)
   | Solver.Unsat, _ -> Alcotest.fail "budget of 5 conflicts cannot refute PHP 9/8"
   | Solver.Sat _, _ -> Alcotest.fail "PHP 9/8 is not SAT"
+
+(* Regression: budgets used to be polled only in the conflict branch of the
+   search loop, so a conflict-free run ignored its wall-clock budget
+   entirely. The instance below is a huge satisfiable formula of independent
+   (a_i or b_i) pairs: every step is one free decision plus one propagation,
+   never a conflict. The propagation-counter poll must abort it with
+   [Unknown]; the pre-fix solver ran all the way to [Sat]. *)
+let test_solver_time_budget_without_conflicts () =
+  let n = 120_000 in
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf (2 * n);
+  for i = 0 to n - 1 do
+    Cnf.add_clause cnf [ Lit.pos (2 * i); Lit.pos ((2 * i) + 1) ]
+  done;
+  let budget =
+    { Solver.no_budget with max_seconds = Some 1e-4; poll_every = 16 }
+  in
+  match Solver.solve ~budget cnf with
+  | Solver.Unknown, stats ->
+      (* the poll fired long before the instance was exhausted *)
+      Alcotest.(check bool)
+        "aborted early" true
+        (stats.Fpgasat_sat.Stats.decisions < n)
+  | Solver.Sat _, _ ->
+      Alcotest.fail "wall-clock budget ignored on a conflict-free run"
+  | Solver.Unsat, _ -> Alcotest.fail "instance is satisfiable"
+  | Solver.Memout, _ -> Alcotest.fail "no memory budget was set"
+
+(* Same shape for the interrupt hook: it must fire without conflicts. *)
+let test_solver_interrupt_without_conflicts () =
+  let n = 120_000 in
+  let cnf = Cnf.create () in
+  Cnf.ensure_vars cnf (2 * n);
+  for i = 0 to n - 1 do
+    Cnf.add_clause cnf [ Lit.pos (2 * i); Lit.pos ((2 * i) + 1) ]
+  done;
+  let budget =
+    Solver.interruptible
+      (fun () -> true)
+      { Solver.no_budget with poll_every = 16 }
+  in
+  match Solver.solve ~budget cnf with
+  | Solver.Unknown, stats ->
+      Alcotest.(check bool)
+        "aborted early" true
+        (stats.Fpgasat_sat.Stats.decisions < n)
+  | _ -> Alcotest.fail "interrupt ignored on a conflict-free run"
 
 let test_solver_proof_ends_empty () =
   let proof = Proof.create () in
@@ -432,6 +521,79 @@ let prop_unsat_proofs_end_empty =
       | Solver.Unsat, _ -> Proof.ends_with_empty proof
       | Solver.Sat _, _ | (Solver.Unknown | Solver.Memout), _ -> true)
 
+(* Dirty CNFs: duplicate literals and tautological clauses injected on top
+   of the random base, plus wider clauses than [gen_random_cnf] produces.
+   These exercise clause normalisation feeding the flat arena, watcher
+   setup on wide clauses, and inprocessing on messy inputs. *)
+let gen_dirty_cnf =
+  QCheck2.Gen.(
+    let* nvars = int_range 1 10 in
+    let* nclauses = int_range 1 40 in
+    let gen_lit =
+      let* v = int_range 0 (nvars - 1) in
+      let* sign = bool in
+      return (Lit.make v sign)
+    in
+    let* clauses =
+      list_repeat nclauses
+        (let* width = int_range 1 6 in
+         let* base = list_repeat width gen_lit in
+         let* dup = bool in
+         let* tauto = bool in
+         let dirty = if dup then List.hd base :: base else base in
+         let dirty =
+           if tauto then Lit.negate (List.hd base) :: dirty else dirty
+         in
+         return dirty)
+    in
+    return (nvars, clauses))
+
+(* A configuration that inprocesses after every restart and restarts after
+   every conflict: maximal coverage of self-subsumption and vivification on
+   small instances, where the default cadence would never fire. *)
+let inprocess_heavy =
+  {
+    Solver.siege_like with
+    Solver.restart = Solver.Geometric (1, 1.0);
+    inprocess_every = 1;
+    inprocess_budget = 10_000;
+  }
+
+let prop_dirty_cnf_differential =
+  QCheck2.Test.make ~count:300
+    ~name:"CDCL (default and inprocess-heavy) vs DPLL on dirty CNFs"
+    gen_dirty_cnf (fun input ->
+      let cnf = build input in
+      let expected = brute_force cnf <> None in
+      let agrees config =
+        match Solver.solve ~config cnf with
+        | Solver.Sat m, _ -> expected && Solver.check_model cnf m
+        | Solver.Unsat, _ -> not expected
+        | (Solver.Unknown | Solver.Memout), _ -> false
+      in
+      agrees Solver.minisat_like
+      && agrees inprocess_heavy
+      &&
+      match Dpll.solve cnf with
+      | Dpll.Sat m -> expected && Solver.check_model cnf m
+      | Dpll.Unsat -> not expected
+      | Dpll.Unknown -> false)
+
+(* Inprocessing rewrites the clause database mid-search; every rewrite must
+   be logged so refutations stay checkable. The forward checker validates
+   each step, so an unjustified strengthening fails here, not just an
+   incomplete trace. *)
+let prop_inprocess_drat_checkable =
+  QCheck2.Test.make ~count:300
+    ~name:"inprocess-heavy UNSAT traces pass the DRAT checker" gen_dirty_cnf
+    (fun input ->
+      let cnf = build input in
+      let proof = Proof.create () in
+      match Solver.solve ~config:inprocess_heavy ~proof cnf with
+      | Solver.Unsat, _ ->
+          Result.is_ok (Fpgasat_sat.Drat_check.check cnf proof)
+      | Solver.Sat _, _ | (Solver.Unknown | Solver.Memout), _ -> true)
+
 let lit_lists cnf =
   List.init (Cnf.num_clauses cnf) (fun i -> Cnf.view_to_list (Cnf.get_clause cnf i))
 
@@ -537,7 +699,12 @@ let () =
           Alcotest.test_case "order" `Quick test_heap_order;
           Alcotest.test_case "rescore" `Quick test_heap_rescore;
         ] );
-      ("vec", [ Alcotest.test_case "basics" `Quick test_vec_basics ]);
+      ( "vec",
+        [
+          Alcotest.test_case "basics" `Quick test_vec_basics;
+          Alcotest.test_case "vacated slots are collectable" `Quick
+            test_vec_gc_release;
+        ] );
       ( "solver",
         [
           Alcotest.test_case "empty formula" `Quick test_solver_empty_formula;
@@ -547,6 +714,10 @@ let () =
           Alcotest.test_case "pigeonhole unsat" `Quick test_solver_php_unsat;
           Alcotest.test_case "pigeonhole sat" `Quick test_solver_php_sat;
           Alcotest.test_case "budget gives Unknown" `Quick test_solver_budget_unknown;
+          Alcotest.test_case "time budget without conflicts" `Quick
+            test_solver_time_budget_without_conflicts;
+          Alcotest.test_case "interrupt without conflicts" `Quick
+            test_solver_interrupt_without_conflicts;
           Alcotest.test_case "proof ends empty" `Quick test_solver_proof_ends_empty;
           Alcotest.test_case "drat text output" `Quick test_solver_proof_drat_text;
           Alcotest.test_case "presets agree" `Quick test_solver_both_presets_agree;
@@ -560,6 +731,8 @@ let () =
           prop_cdcl_matches_dpll;
           prop_presets_agree;
           prop_unsat_proofs_end_empty;
+          prop_dirty_cnf_differential;
+          prop_inprocess_drat_checkable;
           prop_dimacs_roundtrip;
         ];
     ]

@@ -339,6 +339,24 @@ let prop_solver_reusable_across_queries =
           | _ -> false)
         queries)
 
+(* Regression: [Stats.max_decision_level] was only advanced when a free
+   decision opened a level, never when an assumption did. The chain below is
+   fully determined by one assumption plus unit propagation — no free
+   decision ever happens — so the pre-fix watermark stayed at 0. *)
+let test_assumption_levels_raise_max_level () =
+  let cnf = cnf_of 4 [ [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ] in
+  let solver = Solver.create cnf in
+  (match Solver.solve_with ~assumptions:[ Lit.of_dimacs 1 ] solver with
+  | Solver.Q_sat m ->
+      Alcotest.(check bool) "chain propagated" true (m.(0) && m.(1) && m.(2) && m.(3))
+  | _ -> Alcotest.fail "chain under assumption is SAT");
+  let stats = Solver.solver_stats solver in
+  Alcotest.(check bool)
+    "assumption level counted in max_decision_level" true
+    (stats.Fpgasat_sat.Stats.max_decision_level >= 1);
+  Alcotest.(check int) "only the assumption opened a level" 1
+    stats.Fpgasat_sat.Stats.decisions
+
 let test_assumptions_out_of_range_rejected () =
   let cnf = cnf_of 1 [ [ 1 ] ] in
   let solver = Solver.create cnf in
@@ -458,7 +476,9 @@ let () =
                prop_simplify_never_grows;
              ] );
       ( "assumptions",
-        Alcotest.test_case "out of range rejected" `Quick
+        Alcotest.test_case "assumption levels raise max_level" `Quick
+          test_assumption_levels_raise_max_level
+        :: Alcotest.test_case "out of range rejected" `Quick
           test_assumptions_out_of_range_rejected
         :: Alcotest.test_case "stats accumulate" `Quick test_solver_stats_accumulate
         :: qtests

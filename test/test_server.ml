@@ -349,6 +349,17 @@ let test_warm_agrees_with_cold () =
       Alcotest.(check bool) "warm timings amortised" true
         (warm.C.Flow.timings.C.Flow.to_graph = 0.
         && warm.C.Flow.timings.C.Flow.to_cnf = 0.);
+      (* below the greedy bound the ladder drives the solver through
+         assumption selector levels; the max_decision_level watermark must
+         count them even when no free decision happens (it used to track
+         only free decisions, reading 0 on assumption-driven queries) *)
+      (match warm.C.Flow.outcome with
+      | (C.Flow.Routable _ | C.Flow.Unroutable) when w < upper ->
+          Alcotest.(check bool)
+            (Printf.sprintf "width %d decision levels counted" w)
+            true
+            (warm.C.Flow.solver_stats.Sat.Stats.max_decision_level >= 1)
+      | _ -> ());
       match warm.C.Flow.outcome with
       | C.Flow.Routable d ->
           (match
