@@ -1190,14 +1190,22 @@ let serve_cmd =
          & info [ "max-memory-mb" ] ~docv:"MB"
              ~doc:"Server-side ceiling on any request's memory budget.")
   in
+  let cache_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cache-file" ] ~docv:"PATH"
+             ~doc:"Journal the answer cache to this JSONL file: replayed \
+                   on startup (surviving a $(i,kill -9)), appended while \
+                   serving, guarded by a pid lock.")
+  in
   let test_ops_arg =
     Arg.(value & flag
          & info [ "test-ops" ]
-             ~doc:"Enable the $(i,sleep) op (deterministic load for \
-                   overload/drain tests).")
+             ~doc:"Enable the $(i,sleep) op and the request $(i,fault) \
+                   field (deterministic load and chaos injection for \
+                   tests).")
   in
   let run socket workers queue cache sessions max_seconds max_memory_mb
-      test_ops =
+      cache_file test_ops =
     let config =
       {
         (Srv.Server.default_config ~socket_path:socket) with
@@ -1207,25 +1215,32 @@ let serve_cmd =
         max_sessions = sessions;
         max_seconds;
         max_memory_mb;
+        cache_file;
         test_ops;
       }
     in
-    Printf.eprintf "fpgasat: serving on %s (%d workers, queue %d)\n%!" socket
-      workers queue;
-    Srv.Server.run config;
-    Printf.eprintf "fpgasat: drained cleanly\n%!";
-    `Ok ()
+    match
+      Printf.eprintf "fpgasat: serving on %s (%d workers, queue %d)\n%!"
+        socket workers queue;
+      Srv.Server.run config
+    with
+    | () ->
+        Printf.eprintf "fpgasat: drained cleanly\n%!";
+        `Ok ()
+    | exception Failure m -> `Error (false, m)
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the solve server: warm per-strategy solver sessions, an \
-          answer cache, admission control, graceful drain on SIGTERM or \
-          the $(i,shutdown) op.")
+          answer cache (optionally journaled to disk), admission control, \
+          worker respawn, graceful drain on SIGTERM or the $(i,shutdown) \
+          op.")
     Term.(
       ret
         (const run $ socket_arg $ workers_arg $ queue_arg $ cache_arg
-       $ sessions_arg $ max_seconds_arg $ max_memory_arg $ test_ops_arg))
+       $ sessions_arg $ max_seconds_arg $ max_memory_arg $ cache_file_arg
+       $ test_ops_arg))
 
 let client_cmd =
   let op_arg =
@@ -1259,7 +1274,34 @@ let client_cmd =
     Arg.(value & opt (some string) None
          & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed in the response.")
   in
-  let run socket op bench width strategy budget certify telemetry id =
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Total time you are willing to wait; the server shrinks \
+                   the solve budget by queue wait and sheds with \
+                   $(i,deadline_exceeded) when it has already passed.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout" ] ~docv:"SEC"
+             ~doc:"Socket receive/send timeout: a hung server becomes a \
+                   bounded error instead of a blocked client.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Retry idempotent requests up to N times on transport \
+                   errors or $(i,overloaded), with jittered exponential \
+                   backoff.")
+  in
+  let fault_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault" ] ~docv:"KIND"
+             ~doc:"Chaos injection (server must run with --test-ops): \
+                   worker_kill, torn_journal, kill_server.")
+  in
+  let run socket op bench width strategy budget certify telemetry id
+      deadline_ms timeout retries fault =
     let ( let* ) r f =
       match r with Error m -> `Error (false, m) | Ok v -> f v
     in
@@ -1285,12 +1327,14 @@ let client_cmd =
       | _ -> Ok ()
     in
     let request =
-      Srv.Protocol.request ?id ?strategy ?max_seconds:budget ~certify
-        ~telemetry ~benchmark
+      Srv.Protocol.request ?id ?strategy ?max_seconds:budget ?deadline_ms
+        ?fault ~certify ~telemetry ~benchmark
         ~width:(Option.value width ~default:0)
         op
     in
-    let* response = Srv.Client.one_shot ~socket request in
+    let* response =
+      Srv.Client.call_with_retry ~retries ?timeout ~socket request
+    in
     print_endline
       (Obs.Json.to_string (Srv.Protocol.response_to_json response));
     if response.Srv.Protocol.status = Srv.Protocol.Done then `Ok ()
@@ -1304,7 +1348,8 @@ let client_cmd =
     Term.(
       ret
         (const run $ socket_arg $ op_arg $ bench_arg $ width_opt_arg
-       $ strategy_opt_arg $ budget_arg $ certify_arg $ telemetry_arg $ id_arg))
+       $ strategy_opt_arg $ budget_arg $ certify_arg $ telemetry_arg $ id_arg
+       $ deadline_arg $ timeout_arg $ retries_arg $ fault_arg))
 
 (* ---------- main ---------- *)
 

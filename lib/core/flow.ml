@@ -226,12 +226,3 @@ let submit
     certified;
     telemetry;
   }
-
-(* Deprecated thin wrapper (one release): the optional-argument surface
-   that [request] replaced. *)
-let check_width ?(strategy = Strategy.best_single)
-    ?(budget = Sat.Solver.no_budget) ?(want_proof = false) ?(certify = false)
-    ?(telemetry = false) ?trace ?(backend = `Cdcl) route ~width =
-  submit
-    { strategy; budget; want_proof; certify; telemetry; trace; backend }
-    route ~width

@@ -116,22 +116,6 @@ val submit : request -> Fpgasat_fpga.Global_route.t -> width:int -> run
     as specified by the request. Raises [Invalid_argument] when
     [width < 1]. *)
 
-val check_width :
-  ?strategy:Strategy.t ->
-  ?budget:Fpgasat_sat.Solver.budget ->
-  ?want_proof:bool ->
-  ?certify:bool ->
-  ?telemetry:bool ->
-  ?trace:Fpgasat_obs.Trace.t ->
-  ?backend:[ `Cdcl | `Dpll ] ->
-  Fpgasat_fpga.Global_route.t ->
-  width:int ->
-  run
-[@@ocaml.deprecated
-  "build a Flow.request (default_request |> with_*) and call Flow.submit"]
-(** @deprecated Thin wrapper over {!submit}: each optional argument fills
-    the corresponding {!request} field. Kept for one release. *)
-
 val color_graph :
   ?strategy:Strategy.t ->
   ?budget:Fpgasat_sat.Solver.budget ->

@@ -189,3 +189,82 @@ let inject ?out plan jobs =
     (fun i job ->
       match fault plan i with None -> job | Some f -> wrap ?out f job)
     jobs
+
+(* ---------- server faults ---------- *)
+
+module Server = struct
+  type fault = Worker_kill | Torn_journal | Slow_client | Kill_server
+
+  let fault_name = function
+    | Worker_kill -> "worker_kill"
+    | Torn_journal -> "torn_journal"
+    | Slow_client -> "slow_client"
+    | Kill_server -> "kill_server"
+
+  let of_name = function
+    | "worker_kill" -> Some Worker_kill
+    | "torn_journal" -> Some Torn_journal
+    | "slow_client" -> Some Slow_client
+    | "kill_server" -> Some Kill_server
+    | _ -> None
+
+  let all = [| Worker_kill; Torn_journal; Slow_client; Kill_server |]
+
+  (* Same discipline as the sweep plans: a pure function of (seed, n), so
+     a CI chaos run replays bit-for-bit. Every kind appears before
+     randomness takes over. *)
+  let plan ~seed ~n =
+    if n < 0 then invalid_arg "Chaos.Server.plan: n < 0";
+    let state = ref (Int64.of_int seed) in
+    Array.init n (fun i ->
+        if i < Array.length all then all.(i)
+        else all.(rand_below state (Array.length all)))
+
+  (* Truncate [bytes] off the journal's tail — the torn final line a kill
+     mid-append leaves behind. The next attach must skip the fragment, not
+     crash on it. *)
+  let tear_journal ?(bytes = 5) path =
+    match (Unix.stat path).Unix.st_size with
+    | exception Unix.Unix_error _ -> ()
+    | len ->
+        if len > bytes then begin
+          let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+          Fun.protect
+            ~finally:(fun () -> Unix.close fd)
+            (fun () -> Unix.ftruncate fd (len - bytes))
+        end
+
+  (* The supervisor invariants a restarted (or worker-killed) server must
+     uphold: the worker pool back at its configured size, and every
+     answer that was decisive before the fault replayed byte-identically
+     after it. [pairs] are (before, after) serialized run payloads. *)
+  let check_invariants ~expected_workers ~stats ~pairs =
+    let pool_workers =
+      match Json.find stats "pool" with
+      | Some pool -> (
+          match Json.find pool "workers" with
+          | Some (Json.Int n) -> Some n
+          | _ -> None)
+      | None -> None
+    in
+    match pool_workers with
+    | None -> Error "server stats carry no pool.workers gauge"
+    | Some n when n <> expected_workers ->
+        Error
+          (Printf.sprintf "pool not restored: %d workers live, %d configured"
+             n expected_workers)
+    | Some _ -> (
+        let rec check i = function
+          | [] -> Ok ()
+          | (before, after) :: rest ->
+              if String.equal before after then check (i + 1) rest
+              else
+                Error
+                  (Printf.sprintf
+                     "cached answer %d not replayed byte-identically:\n\
+                      before: %s\n\
+                      after:  %s"
+                     i before after)
+        in
+        check 0 pairs)
+end

@@ -68,3 +68,60 @@ val inject : ?out:string -> plan -> Sweep.job list -> Sweep.job list
 (** Wraps the [i]-th job with [faults.(i)]. [out] must be the sweep's
     results path when the plan may contain {!Torn_tail} (the fault
     truncates that file). Jobs beyond the plan's length are untouched. *)
+
+(** Fault kinds for the {e serving} layer (PR 7's solve server), plus the
+    supervisor-invariant checker its chaos harness asserts with. The
+    server faults are driven differently from the sweep faults: rather
+    than wrapping a job queue, the harness sends them as [fault] fields on
+    protocol requests (gated behind [serve --test-ops]) or inflicts them
+    from outside (a [kill -9], a client that dribbles bytes). *)
+module Server : sig
+  type fault =
+    | Worker_kill
+        (** The request raises
+            {!Pool.Persistent.Worker_killed} on its worker: the domain
+            dies mid-request. The pool must fill the ticket, respawn
+            within its restart budget, and repeated kills on one request
+            identity must quarantine it. *)
+    | Torn_journal
+        (** Chop bytes off the cache journal's tail — the torn line a
+            kill mid-append leaves. Replay must skip exactly the
+            fragment. *)
+    | Slow_client
+        (** A client that writes its request a few bytes at a time (and
+            reads slowly): per-connection threads must keep other clients
+            unaffected and the write timeout must eventually reclaim the
+            connection. Inflicted client-side by the harness. *)
+    | Kill_server
+        (** [SIGKILL] mid-request: no drain, no unlink. On restart the
+            server must reclaim the stale socket, replay the journal, and
+            serve every previously-decisive answer byte-identically. *)
+
+  val fault_name : fault -> string
+  (** ["worker_kill"], ["torn_journal"], ["slow_client"],
+      ["kill_server"] — the wire form carried by a request's [fault]
+      field. *)
+
+  val of_name : string -> fault option
+
+  val all : fault array
+
+  val plan : seed:int -> n:int -> fault array
+  (** Deterministic fault sequence: each kind once, then seed-chosen —
+      the same replayability contract as {!make}. *)
+
+  val tear_journal : ?bytes:int -> string -> unit
+  (** Truncate the file's tail by [bytes] (default 5) — the
+      {!Torn_journal} implementation; a no-op on a missing or
+      shorter-than-[bytes] file. *)
+
+  val check_invariants :
+    expected_workers:int ->
+    stats:Json.t ->
+    pairs:(string * string) list ->
+    (unit, string) result
+  (** Assert the crash-only contract after a fault: [stats] (the server's
+      stats payload) must show [pool.workers = expected_workers], and
+      every [(before, after)] pair of serialized run payloads must be
+      byte-identical. Returns the first violation. *)
+end

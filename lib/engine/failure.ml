@@ -46,6 +46,17 @@ let backtrace = function
    distinction the supervisor acts on is decisive vs. not. *)
 let transient = function Timeout | Memout -> true | Crash _ -> false
 
+(* A crash whose exception class is the pool's deliberate domain-kill
+   channel: the request did not merely fail, it took a worker domain with
+   it. The serving layer's poison-quarantine decisions key on this. *)
+let is_worker_death = function
+  | Crash { exn_class; _ } ->
+      String.equal exn_class Pool.Persistent.worker_killed_class
+  | Timeout | Memout -> false
+
+let error_is_worker_death (e : Pool.error) =
+  String.equal e.Pool.exn_class Pool.Persistent.worker_killed_class
+
 let pp ppf f =
   match f with
   | Timeout | Memout -> Format.pp_print_string ppf (name f)

@@ -42,4 +42,14 @@ val transient : t -> bool
     supervisor retries both but only escalates budgets for transient ones'
     sake. *)
 
+val is_worker_death : t -> bool
+(** [true] exactly when the crash's exception class is
+    {!Pool.Persistent.worker_killed_class} — the request killed its worker
+    domain rather than merely raising. The server quarantines request
+    identities that do this repeatedly. *)
+
+val error_is_worker_death : Pool.error -> bool
+(** The same test on a raw {!Pool.error}, for callers holding a ticket
+    result rather than a classified failure. *)
+
 val pp : Format.formatter -> t -> unit

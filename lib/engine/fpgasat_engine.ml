@@ -7,11 +7,14 @@
     results use; {!Failure} is the taxonomy the supervisor classifies
     non-decisive cells with; {!Chaos} injects deterministic faults into job
     queues to test the supervisor itself; {!Portfolio} races strategies on
-    the same pool with first-answer-wins cancellation; {!Json} re-exports
-    the dependency-free JSON substrate, which now lives in
+    the same pool with first-answer-wins cancellation; {!Lockfile} is the
+    advisory single-writer pid lock shared by the sweep's [--out] file and
+    the solve server's cache journal; {!Json} re-exports the
+    dependency-free JSON substrate, which now lives in
     [Fpgasat_obs.Json]. *)
 
 module Json = Json
+module Lockfile = Lockfile
 module Pool = Pool
 module Run_record = Run_record
 module Failure = Failure

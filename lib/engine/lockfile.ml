@@ -1,0 +1,60 @@
+(* One lock file per protected path, holding the owner's pid. O_EXCL makes
+   creation the atomic acquire; liveness of the recorded pid distinguishes a
+   concurrent writer (fail fast — interleaved appends would tear each
+   other's JSON lines) from a stale file left by a kill (silently reclaimed,
+   so kill + restart keeps working unattended). This intentionally also
+   locks out a second writer in the same process, which fcntl-style locks
+   cannot do. *)
+
+let lock_path out = out ^ ".lock"
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) -> true
+
+let acquire path =
+  let lock = lock_path path in
+  let rec attempt tries =
+    match
+      Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644
+    with
+    | fd ->
+        let pid = string_of_int (Unix.getpid ()) in
+        ignore (Unix.write_substring fd pid 0 (String.length pid));
+        Unix.close fd
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
+        let holder =
+          try
+            int_of_string_opt
+              (String.trim
+                 (In_channel.with_open_text lock In_channel.input_all))
+          with Sys_error _ -> None
+        in
+        let stale =
+          match holder with None -> true | Some p -> not (pid_alive p)
+        in
+        if stale && tries > 0 then begin
+          (try Sys.remove lock with Sys_error _ -> ());
+          attempt (tries - 1)
+        end
+        else
+          raise
+            (Sys_error
+               (Printf.sprintf
+                  "%s: file is locked by %s; two writers appending to the \
+                   same path would corrupt it"
+                  lock
+                  (match holder with
+                  | Some p -> Printf.sprintf "running process %d" p
+                  | None -> "another writer")))
+  in
+  attempt 3
+
+let release path =
+  try Sys.remove (lock_path path) with Sys_error _ -> ()
+
+let with_lock path f =
+  acquire path;
+  Fun.protect ~finally:(fun () -> release path) f

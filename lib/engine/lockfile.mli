@@ -1,0 +1,28 @@
+(** Advisory single-writer pid locks for append-only result files.
+
+    The sweep supervisor introduced the scheme for its [--out] JSONL file;
+    the solve server's cache journal shares it. A lock is a sibling file
+    ([<path>.lock]) holding the owner's pid, created with [O_EXCL] as the
+    atomic acquire. A lock whose recorded pid is no longer alive is a
+    leftover from a kill and is silently reclaimed, so unattended
+    kill-and-restart loops keep working; a lock held by a {e live} process
+    fails fast with [Sys_error] — two writers interleaving appends would
+    tear each other's lines.
+
+    Because acquisition is file creation (not an fcntl region lock), it
+    also excludes a second writer {e within the same process}, which
+    fcntl-style locks cannot. *)
+
+val lock_path : string -> string
+(** [lock_path p] is [p ^ ".lock"] — where the lock for [p] lives. *)
+
+val acquire : string -> unit
+(** Take the lock protecting [path]. Raises [Sys_error] when a live
+    process holds it; reclaims stale locks (up to a bounded number of
+    races) silently. *)
+
+val release : string -> unit
+(** Remove the lock file; never raises (a vanished lock is fine). *)
+
+val with_lock : string -> (unit -> 'a) -> 'a
+(** [acquire], run, [release] (also on exception). *)

@@ -77,6 +77,10 @@ let map ?jobs ?(record_backtrace = false) ?on_done thunks =
   end
 
 module Persistent = struct
+  exception Worker_killed
+
+  let worker_killed_class = Printexc.exn_slot_name Worker_killed
+
   type 'a ticket = {
     t_mutex : Mutex.t;
     t_cond : Condition.t;
@@ -109,14 +113,23 @@ module Persistent = struct
     not_empty : Condition.t;
     queue : (unit -> unit) Queue.t;
     capacity : int;
+    restart_budget : int;
+    restart_backoff : float;
     mutable stopping : bool;
     mutable in_flight : int;
+    mutable live : int;
+    mutable deaths : int;
+    mutable respawns_done : int;
     mutable domains : unit Domain.t list;
   }
 
   type 'a submission = Accepted of 'a ticket | Rejected | Stopped
 
-  let worker pool () =
+  (* The normal pull loop. [job ()] only raises when the job deliberately
+     kills its worker domain (the {!Worker_killed} channel: the submit
+     wrapper has already filled the ticket before re-raising); the raise
+     propagates to {!worker}'s death handler below. *)
+  let worker_loop pool =
     let rec loop () =
       Mutex.lock pool.mutex;
       while Queue.is_empty pool.queue && not pool.stopping do
@@ -129,7 +142,13 @@ module Persistent = struct
         let job = Queue.pop pool.queue in
         pool.in_flight <- pool.in_flight + 1;
         Mutex.unlock pool.mutex;
-        job ();
+        (match job () with
+        | () -> ()
+        | exception e ->
+            Mutex.lock pool.mutex;
+            pool.in_flight <- pool.in_flight - 1;
+            Mutex.unlock pool.mutex;
+            raise e);
         Mutex.lock pool.mutex;
         pool.in_flight <- pool.in_flight - 1;
         Mutex.unlock pool.mutex;
@@ -138,7 +157,41 @@ module Persistent = struct
     in
     loop ()
 
-  let create ?workers ?(queue_capacity = 64) () =
+  (* Top of every worker domain: run the pull loop; on a worker-killing
+     job, record the death and respawn a replacement under the bounded
+     restart budget, with exponential backoff (base doubles per respawn,
+     capped at 1 s) so a stream of poisoned requests cannot turn the pool
+     into a domain-spawning hot loop. The dying domain itself spawns its
+     replacement — no supervisor thread to crash — and always returns
+     normally so {!shutdown}'s [Domain.join] never re-raises. *)
+  let rec worker pool () =
+    match worker_loop pool with
+    | () -> ()
+    | exception _ ->
+        Mutex.lock pool.mutex;
+        pool.deaths <- pool.deaths + 1;
+        let respawn =
+          (not pool.stopping) && pool.respawns_done < pool.restart_budget
+        in
+        if respawn then begin
+          pool.respawns_done <- pool.respawns_done + 1;
+          let delay =
+            Float.min 1.0
+              (pool.restart_backoff
+              *. (2. ** float_of_int (pool.respawns_done - 1)))
+          in
+          let d =
+            Domain.spawn (fun () ->
+                if delay > 0. then Unix.sleepf delay;
+                worker pool ())
+          in
+          pool.domains <- d :: pool.domains
+        end
+        else pool.live <- pool.live - 1;
+        Mutex.unlock pool.mutex
+
+  let create ?workers ?(queue_capacity = 64) ?(restart_budget = 8)
+      ?(restart_backoff = 0.05) () =
     let workers =
       match workers with Some w -> max 1 w | None -> default_jobs ()
     in
@@ -148,15 +201,38 @@ module Persistent = struct
         not_empty = Condition.create ();
         queue = Queue.create ();
         capacity = max 1 queue_capacity;
+        restart_budget = max 0 restart_budget;
+        restart_backoff = Float.max 0. restart_backoff;
         stopping = false;
         in_flight = 0;
+        live = workers;
+        deaths = 0;
+        respawns_done = 0;
         domains = [];
       }
     in
     pool.domains <- List.init workers (fun _ -> Domain.spawn (worker pool));
     pool
 
-  let workers pool = List.length pool.domains
+  let workers pool =
+    Mutex.lock pool.mutex;
+    let n = pool.live in
+    Mutex.unlock pool.mutex;
+    n
+
+  let deaths pool =
+    Mutex.lock pool.mutex;
+    let n = pool.deaths in
+    Mutex.unlock pool.mutex;
+    n
+
+  let respawns pool =
+    Mutex.lock pool.mutex;
+    let n = pool.respawns_done in
+    Mutex.unlock pool.mutex;
+    n
+
+  let restart_budget pool = pool.restart_budget
 
   let submit pool thunk =
     Mutex.lock pool.mutex;
@@ -174,8 +250,15 @@ module Persistent = struct
       in
       Queue.push
         (fun () ->
-          let r = try Ok (thunk ()) with e -> Error (error_of_exn e) in
-          fill ticket r)
+          (* the ticket is filled on every path — including the
+             worker-killing one, where the waiter must not hang on a dead
+             domain — before the kill escapes to the worker loop *)
+          match thunk () with
+          | v -> fill ticket (Ok v)
+          | exception Worker_killed ->
+              fill ticket (Error (error_of_exn Worker_killed));
+              raise Worker_killed
+          | exception e -> fill ticket (Error (error_of_exn e)))
         pool.queue;
       Condition.signal pool.not_empty;
       Mutex.unlock pool.mutex;
@@ -198,9 +281,16 @@ module Persistent = struct
     let first = not pool.stopping in
     pool.stopping <- true;
     Condition.broadcast pool.not_empty;
+    (* once [stopping] is set no death handler appends a replacement, so
+       this snapshot is the complete set of domains ever spawned (dead ones
+       join instantly) *)
+    let domains = pool.domains in
     Mutex.unlock pool.mutex;
     if first then begin
-      List.iter Domain.join pool.domains;
-      pool.domains <- []
+      List.iter Domain.join domains;
+      Mutex.lock pool.mutex;
+      pool.domains <- [];
+      pool.live <- 0;
+      Mutex.unlock pool.mutex
     end
 end

@@ -63,6 +63,20 @@ val map :
 module Persistent : sig
   type t
 
+  exception Worker_killed
+  (** The deliberate domain-kill channel. A thunk that raises this does
+      not merely fail its ticket: the exception escapes the worker's catch
+      and takes the whole worker domain down — the deterministic stand-in
+      for a request whose execution destroys its worker (runaway native
+      code, a fatal runtime error). The pool fills the ticket with
+      [Error] {e before} the domain dies (no waiter hangs) and then
+      respawns a replacement under the restart budget. *)
+
+  val worker_killed_class : string
+  (** [Printexc.exn_slot_name Worker_killed] — the [exn_class] an
+      {!error} carries when its worker died; what
+      {!Failure.is_worker_death} matches on. *)
+
   type 'a ticket
   (** A handle on one accepted submission's eventual result. *)
 
@@ -71,17 +85,32 @@ module Persistent : sig
     | Rejected  (** Backlog at capacity — the admission-control answer. *)
     | Stopped  (** {!shutdown} has begun; no new work is admitted. *)
 
-  val create : ?workers:int -> ?queue_capacity:int -> unit -> t
+  val create :
+    ?workers:int ->
+    ?queue_capacity:int ->
+    ?restart_budget:int ->
+    ?restart_backoff:float ->
+    unit ->
+    t
   (** Spawns [workers] domains (default {!default_jobs}, clamped to ≥ 1)
       that idle until work arrives. [queue_capacity] (default 64, clamped
       to ≥ 1) bounds the number of {e queued} (not yet running)
-      submissions; beyond it {!submit} answers {!Rejected}. *)
+      submissions; beyond it {!submit} answers {!Rejected}.
+
+      [restart_budget] (default 8, clamped to ≥ 0) bounds how many worker
+      deaths the pool will repair over its lifetime: each dead domain is
+      replaced by a fresh one until the budget is spent, after which the
+      pool shrinks permanently (a pool that respawns forever would turn a
+      poisoned request stream into a fork bomb). [restart_backoff]
+      (default 0.05 s) is the first replacement's start-up delay; it
+      doubles per respawn, capped at 1 s. *)
 
   val submit : t -> (unit -> 'a) -> 'a submission
   (** Never blocks: either the thunk is queued and a ticket returned, or
       the caller learns instantly that the pool is full or stopping. A
       thunk that raises resolves its ticket to [Error] (exception class +
-      message); the worker survives. *)
+      message); the worker survives — except {!Worker_killed}, which
+      fills the ticket and then kills the worker domain (see above). *)
 
   val wait : 'a ticket -> ('a, error) result
   (** Blocks the calling thread until the submission has run. *)
@@ -96,7 +125,19 @@ module Persistent : sig
   (** [(queued, running)] at this instant — the admission-control gauge. *)
 
   val workers : t -> int
-  (** Worker domains still attached (0 after {!shutdown} returns). *)
+  (** Live worker domains — the configured size while healthy, smaller
+      only when deaths have exhausted the restart budget, 0 after
+      {!shutdown} returns. A respawn counts immediately (the replacement
+      is booting through its backoff delay). *)
+
+  val deaths : t -> int
+  (** Worker domains killed so far ({!Worker_killed} escapes). *)
+
+  val respawns : t -> int
+  (** Replacement domains spawned so far (≤ {!restart_budget}). *)
+
+  val restart_budget : t -> int
+  (** The configured death-repair ceiling. *)
 
   val shutdown : t -> unit
   (** Graceful drain: stops admission, lets the workers finish every

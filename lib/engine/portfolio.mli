@@ -52,8 +52,4 @@ val run :
     [poll_every] is the cancellation poll interval in conflicts (default
     {!Fpgasat_sat.Solver.default_poll_interval}). Raises
     [Invalid_argument] on an empty member list and [Failure] if a member
-    raises.
-
-    The [run_simulated] / [run_parallel] wrappers deprecated since the
-    engine landed have been removed; [run ?mode] is the only entry
-    point. *)
+    raises. *)

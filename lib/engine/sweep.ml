@@ -113,64 +113,12 @@ let job_key (j : job) =
 
 (* ---------- advisory lock ---------- *)
 
-(* One lock file per results path, holding the owner's pid. O_EXCL makes
-   creation the atomic acquire; liveness of the recorded pid distinguishes a
-   concurrent sweep (fail fast — interleaved appends would tear each other's
-   JSON lines) from a stale file left by a kill (silently reclaimed, so
-   kill + --resume keeps working unattended). This intentionally also locks
-   out a second sweep in the same process, which fcntl-style locks cannot
-   do. *)
-let lock_path out = out ^ ".lock"
-
-let pid_alive pid =
-  match Unix.kill pid 0 with
-  | () -> true
-  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
-  | exception Unix.Unix_error (_, _, _) -> true
-
-let acquire_lock path =
-  let lock = lock_path path in
-  let rec attempt tries =
-    match Unix.openfile lock [ Unix.O_CREAT; Unix.O_EXCL; Unix.O_WRONLY ] 0o644 with
-    | fd ->
-        let pid = string_of_int (Unix.getpid ()) in
-        ignore (Unix.write_substring fd pid 0 (String.length pid));
-        Unix.close fd
-    | exception Unix.Unix_error (Unix.EEXIST, _, _) ->
-        let holder =
-          try
-            int_of_string_opt
-              (String.trim
-                 (In_channel.with_open_text lock In_channel.input_all))
-          with Sys_error _ -> None
-        in
-        let stale = match holder with None -> true | Some p -> not (pid_alive p) in
-        if stale && tries > 0 then begin
-          (try Sys.remove lock with Sys_error _ -> ());
-          attempt (tries - 1)
-        end
-        else
-          raise
-            (Sys_error
-               (Printf.sprintf
-                  "%s: results file is locked by %s; two sweeps appending to \
-                   the same --out would corrupt it"
-                  lock
-                  (match holder with
-                  | Some p -> Printf.sprintf "running process %d" p
-                  | None -> "another sweep")))
-  in
-  attempt 3
-
-let release_lock path =
-  try Sys.remove (lock_path path) with Sys_error _ -> ()
-
+(* The pid-lock scheme lives in {!Lockfile} (shared with the solve server's
+   cache journal); the sweep locks its --out path for the whole run. *)
 let with_out_lock config f =
   match config.out with
   | None -> f ()
-  | Some path ->
-      acquire_lock path;
-      Fun.protect ~finally:(fun () -> release_lock path) f
+  | Some path -> Lockfile.with_lock path f
 
 (* ---------- per-cell supervision ---------- *)
 

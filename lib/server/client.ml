@@ -3,8 +3,19 @@ module P = Protocol
 
 type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect path =
+let connect ?timeout path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* SO_RCVTIMEO/SO_SNDTIMEO turn a hung server into a bounded Sys_error
+     on the channel instead of a client that blocks forever; connect on a
+     Unix socket either succeeds or fails immediately, so the two
+     timeouts cover the whole call. *)
+  (match timeout with
+  | None -> ()
+  | Some seconds ->
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO seconds;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO seconds
+       with Unix.Unix_error _ -> ()));
   match Unix.connect fd (Unix.ADDR_UNIX path) with
   | () ->
       Ok
@@ -31,14 +42,73 @@ let call_line t line =
   | reply -> Ok reply
   | exception End_of_file -> Error "server closed the connection"
   | exception Sys_error m -> Error m
+  | exception Sys_blocked_io ->
+      (* how a tripped SO_RCVTIMEO/SO_SNDTIMEO surfaces through a
+         channel: the wait is over, the server never answered *)
+      Error "timed out waiting for the server"
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Error "timed out waiting for the server"
 
 let call t request =
   match call_line t (J.to_string (P.request_to_json request)) with
   | Error _ as err -> err
   | Ok line -> P.parse_response line
 
-let one_shot ~socket request =
-  match connect socket with
+let one_shot ?timeout ~socket request =
+  match connect ?timeout socket with
   | Error _ as err -> err
   | Ok conn ->
       Fun.protect ~finally:(fun () -> close conn) (fun () -> call conn request)
+
+(* ---------- retry ---------- *)
+
+(* splitmix64, seeded: retry jitter is deterministic under test yet spreads
+   real concurrent clients apart (each picks its own seed). *)
+let splitmix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform state =
+  Int64.to_float (Int64.shift_right_logical (splitmix state) 11)
+  /. 9007199254740992. (* 2^53 *)
+
+let retryable_response (r : P.response) =
+  match r.P.status with
+  | P.Overloaded -> true
+  | P.Done | P.Failed | P.Shutting_down | P.Deadline_exceeded -> false
+
+let call_with_retry ?(retries = 3) ?(backoff = 0.05) ?(seed = 0) ?timeout
+    ~socket request =
+  (* only idempotent ops may be re-sent blind: a lost response to
+     [shutdown] or [sleep] does not license doing it again *)
+  let may_retry = P.idempotent request.P.op in
+  let state = ref (Int64.of_int seed) in
+  let rec attempt i =
+    let result = one_shot ?timeout ~socket request in
+    let should_retry =
+      may_retry && i < retries
+      &&
+      match result with
+      | Error _ -> true (* connect refused, reset, EOF, socket timeout *)
+      | Ok r -> retryable_response r
+    in
+    if not should_retry then result
+    else begin
+      (* exponential with full-half jitter: delay_i ∈ [d/2, d] where
+         d = backoff·2^i, capped at 1s — desynchronises clients hammering
+         an overloaded server without unbounded sleeps *)
+      let d = Float.min 1.0 (backoff *. (2. ** float_of_int i)) in
+      Unix.sleepf ((d /. 2.) *. (1. +. uniform state));
+      attempt (i + 1)
+    end
+  in
+  attempt 0

@@ -1,9 +1,15 @@
-(** A minimal blocking client for the solve server's socket protocol. *)
+(** A minimal blocking client for the solve server's socket protocol,
+    with the two robustness affordances a crash-only server asks of its
+    clients: bounded waits (socket timeouts) and jittered retry of
+    idempotent requests. *)
 
 type t
 
-val connect : string -> (t, string) result
-(** Connect to the server's Unix socket path. *)
+val connect : ?timeout:float -> string -> (t, string) result
+(** Connect to the server's Unix socket path. [timeout] (seconds) sets
+    [SO_RCVTIMEO]/[SO_SNDTIMEO] on the socket, turning a hung or killed
+    server into a bounded error on the next call instead of a client
+    blocked forever. No timeout by default. *)
 
 val close : t -> unit
 
@@ -15,5 +21,32 @@ val call : t -> Protocol.request -> (Protocol.response, string) result
 (** Send a typed request, parse the typed response. The connection stays
     open; repeated calls reuse it (and the server's warm state). *)
 
-val one_shot : socket:string -> Protocol.request -> (Protocol.response, string) result
+val one_shot :
+  ?timeout:float ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
 (** Connect, {!call} once, close. *)
+
+val call_with_retry :
+  ?retries:int ->
+  ?backoff:float ->
+  ?seed:int ->
+  ?timeout:float ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** {!one_shot} with up to [retries] (default 3) re-attempts on transport
+    errors (connection refused or reset, EOF, socket timeout) and on
+    [overloaded] responses — the two failures where asking again is the
+    right move (a restarting or momentarily saturated server).
+
+    Only {!Protocol.idempotent} ops are ever re-sent; for the rest the
+    first result is returned as-is, because a lost response does not
+    license repeating a state change. Waits between attempts grow
+    exponentially from [backoff] (default 0.05 s, capped at 1 s) with
+    seeded half-interval jitter: attempt [i] sleeps uniformly in
+    [[d/2, d]] for [d = backoff·2{^i}], so colliding clients spread out
+    while tests replay exactly ([seed], default 0). Definitive responses
+    — [ok], [error], [deadline_exceeded], [shutting_down] — are returned
+    immediately, never retried. *)

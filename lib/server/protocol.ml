@@ -23,12 +23,15 @@ type request = {
   max_conflicts : int option;
   max_seconds : float option;
   max_memory_mb : int option;
+  deadline_ms : int option;
   certify : bool;
   telemetry : bool;
+  fault : string option;
 }
 
 let request ?id ?strategy ?max_conflicts ?max_seconds ?max_memory_mb
-    ?(certify = false) ?(telemetry = false) ?(benchmark = "") ?(width = 0) op =
+    ?deadline_ms ?(certify = false) ?(telemetry = false) ?fault
+    ?(benchmark = "") ?(width = 0) op =
   {
     id;
     op;
@@ -38,9 +41,20 @@ let request ?id ?strategy ?max_conflicts ?max_seconds ?max_memory_mb
     max_conflicts;
     max_seconds;
     max_memory_mb;
+    deadline_ms;
     certify;
     telemetry;
+    fault;
   }
+
+(* The ops a client may retry blind: re-running them cannot change server
+   state beyond counters, so a response lost to a connection reset is safe
+   to re-ask for. [shutdown] is a state change and [sleep] occupies a
+   worker per call — retrying those amplifies the very overload the retry
+   is reacting to. *)
+let idempotent = function
+  | Route | Min_width | Ping | Stats -> true
+  | Shutdown | Sleep _ -> false
 
 let budget_of_request r =
   {
@@ -52,7 +66,10 @@ let budget_of_request r =
 
 (* A stable textual identity of the budget, part of the answer-cache key:
    two requests with different budgets must not share a cached answer (a
-   timeout under a small budget says nothing about a larger one). *)
+   timeout under a small budget says nothing about a larger one). The
+   deadline is deliberately absent: it only ever shrinks the effective
+   budget, and a decisive answer is decisive whatever deadline it beat —
+   fragmenting the cache per deadline would throw hits away. *)
 let budget_signature r =
   let num f = function None -> "-" | Some v -> f v in
   Printf.sprintf "c%s,s%s,m%s"
@@ -77,8 +94,10 @@ let request_to_json r =
     @ opt_field "max_conflicts" (fun n -> J.Int n) r.max_conflicts
     @ opt_field "max_seconds" (fun f -> J.Float f) r.max_seconds
     @ opt_field "max_memory_mb" (fun n -> J.Int n) r.max_memory_mb
+    @ opt_field "deadline_ms" (fun n -> J.Int n) r.deadline_ms
     @ (if r.certify then [ ("certify", J.Bool true) ] else [])
-    @ if r.telemetry then [ ("telemetry", J.Bool true) ] else [])
+    @ (if r.telemetry then [ ("telemetry", J.Bool true) ] else [])
+    @ opt_field "fault" (fun s -> J.String s) r.fault)
 
 let find_string j key =
   match J.find j key with Some (J.String s) -> Some s | _ -> None
@@ -135,8 +154,10 @@ let request_of_json j =
       max_conflicts = find_int j "max_conflicts";
       max_seconds = find_float j "max_seconds";
       max_memory_mb = find_int j "max_memory_mb";
+      deadline_ms = find_int j "deadline_ms";
       certify = Option.value (find_bool j "certify") ~default:false;
       telemetry = Option.value (find_bool j "telemetry") ~default:false;
+      fault = find_string j "fault";
     }
 
 let parse_request line =
@@ -148,13 +169,14 @@ type served_by = Cache | Warm | Cold
 
 let served_by_name = function Cache -> "cache" | Warm -> "warm" | Cold -> "cold"
 
-type status = Done | Failed | Overloaded | Shutting_down
+type status = Done | Failed | Overloaded | Shutting_down | Deadline_exceeded
 
 let status_name = function
   | Done -> "ok"
   | Failed -> "error"
   | Overloaded -> "overloaded"
   | Shutting_down -> "shutting_down"
+  | Deadline_exceeded -> "deadline_exceeded"
 
 type response = {
   resp_id : string option;
@@ -202,6 +224,7 @@ let response_of_json j =
     | Some "error" -> Ok Failed
     | Some "overloaded" -> Ok Overloaded
     | Some "shutting_down" -> Ok Shutting_down
+    | Some "deadline_exceeded" -> Ok Deadline_exceeded
     | Some other -> Error (Printf.sprintf "unknown status %S" other)
     | None -> Error "missing \"status\""
   in

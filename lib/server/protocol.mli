@@ -13,13 +13,13 @@
     {"schema":"fpgasat.req/1","id":"r1","op":"route","benchmark":"alu2",
      "width":4,"strategy":"ITE-linear-2+muldirect/s1@siege",
      "max_conflicts":n?,"max_seconds":f?,"max_memory_mb":n?,
-     "certify":true?,"telemetry":true?}
+     "deadline_ms":n?,"certify":true?,"telemetry":true?,"fault":"kind"?}
     v}
 
     Response ([fpgasat.resp/1]):
     {v
     {"schema":"fpgasat.resp/1","id":"r1",
-     "status":"ok|error|overloaded|shutting_down",
+     "status":"ok|error|overloaded|shutting_down|deadline_exceeded",
      "served_by":"cache|warm|cold"?,"run":{fpgasat.run/1}?,
      "min_width":n?,"payload":{}?,"error":"msg"?}
     v} *)
@@ -57,12 +57,24 @@ type request = {
   max_memory_mb : int option;
       (** Per-request budget; the server caps each field with its own
           configured ceilings. *)
+  deadline_ms : int option;
+      (** Total time the client is willing to wait, measured from the
+          moment the server receives the line. The server subtracts queue
+          wait before solving and maps the remainder onto the solver's
+          wall-clock budget; a request whose deadline passed while queued
+          is shed with a [deadline_exceeded] response instead of running.
+          Not part of the cache key (it only shrinks the budget; a
+          decisive answer is decisive whatever deadline it beat). *)
   certify : bool;
       (** Independently check the answer. Certified requests bypass the
           warm session (a per-query UNSAT under selector assumptions is
           not a standalone DRAT refutation) and take the cold
           {!Fpgasat_core.Flow.submit} path. *)
   telemetry : bool;
+  fault : string option;
+      (** Chaos injection ({!Fpgasat_engine.Chaos.Server.fault_name}
+          kinds); only honoured when the server runs with [test_ops],
+          a protocol [error] otherwise. *)
 }
 
 val request :
@@ -71,12 +83,20 @@ val request :
   ?max_conflicts:int ->
   ?max_seconds:float ->
   ?max_memory_mb:int ->
+  ?deadline_ms:int ->
   ?certify:bool ->
   ?telemetry:bool ->
+  ?fault:string ->
   ?benchmark:string ->
   ?width:int ->
   op ->
   request
+
+val idempotent : op -> bool
+(** The ops a client may retry blind ([route], [min_width], [ping],
+    [stats]): re-running them cannot change server state beyond counters.
+    [shutdown] and [sleep] are not. {!Client.call_with_retry} refuses to
+    retry non-idempotent requests. *)
 
 val budget_of_request : request -> Fpgasat_sat.Solver.budget
 val budget_signature : request -> string
@@ -101,6 +121,11 @@ type status =
   | Failed  (** Protocol or execution error; see [message]. *)
   | Overloaded  (** Admission control rejected the request: backlog full. *)
   | Shutting_down  (** Drain has begun; no new work is admitted. *)
+  | Deadline_exceeded
+      (** The request's [deadline_ms] passed before a solver could start
+          (shed from the queue) or the deadline-capped budget ran out
+          mid-solve. No answer is implied — retry with a larger deadline
+          if the answer still matters. *)
 
 val status_name : status -> string
 

@@ -14,6 +14,7 @@ type config = {
   max_sessions : int;
   max_seconds : float option;
   max_memory_mb : int option;
+  cache_file : string option;
   test_ops : bool;
 }
 
@@ -26,8 +27,14 @@ let default_config ~socket_path =
     max_sessions = 16;
     max_seconds = None;
     max_memory_mb = None;
+    cache_file = None;
     test_ops = false;
   }
+
+(* A request whose worker dies this many times is quarantined: later
+   attempts get an error without touching the pool, so one poisoned input
+   cannot eat the whole restart budget. *)
+let quarantine_threshold = 2
 
 type counters = {
   requests : int Atomic.t;
@@ -36,6 +43,8 @@ type counters = {
   cold : int Atomic.t;
   overloaded : int Atomic.t;
   errors : int Atomic.t;
+  deadline_exceeded : int Atomic.t;
+  quarantined : int Atomic.t;
 }
 
 type session_slot = { session : Session.t; mutable last_use : int }
@@ -48,6 +57,9 @@ type t = {
   sessions : (string, session_slot) Hashtbl.t;
   sessions_mutex : Mutex.t;
   mutable session_tick : int;
+  (* structural-hash -> worker deaths attributed to requests on that CNF *)
+  poison : (string, int) Hashtbl.t;
+  poison_mutex : Mutex.t;
   trace : Obs.Trace.t;
   counters : counters;
   stop_requested : bool Atomic.t;
@@ -102,7 +114,61 @@ let get_session server ~benchmark strategy =
                 { session; last_use = server.session_tick };
               Ok session)
 
-(* ---------- request execution (runs on a pool worker) ---------- *)
+(* ---------- quarantine ---------- *)
+
+(* The structural-hash prefix of a session cache key — the identity the
+   poison table is keyed on. One CNF crashing workers under one width must
+   also quarantine it at other widths: the crash is in the content, not
+   the query. *)
+let structural_hash_of_key key =
+  match String.index_opt key '|' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let poison_count server hash =
+  Mutex.lock server.poison_mutex;
+  let n = Option.value (Hashtbl.find_opt server.poison hash) ~default:0 in
+  Mutex.unlock server.poison_mutex;
+  n
+
+let record_poison server hash =
+  Mutex.lock server.poison_mutex;
+  let n = 1 + Option.value (Hashtbl.find_opt server.poison hash) ~default:0 in
+  Hashtbl.replace server.poison hash n;
+  Mutex.unlock server.poison_mutex
+
+let quarantined_count server =
+  Mutex.lock server.poison_mutex;
+  let n =
+    Hashtbl.fold
+      (fun _ deaths acc ->
+        if deaths >= quarantine_threshold then acc + 1 else acc)
+      server.poison 0
+  in
+  Mutex.unlock server.poison_mutex;
+  n
+
+(* ---------- deadlines ---------- *)
+
+(* [deadline_ms] is total client patience measured from [arrival] (the
+   moment the conn thread read the line). By the time a worker picks the
+   request up, queue wait has eaten part of it; the remainder caps the
+   solver's wall-clock budget. *)
+let deadline_remaining (req : P.request) ~arrival =
+  match req.P.deadline_ms with
+  | None -> None
+  | Some ms ->
+      Some (float_of_int ms /. 1000. -. (Unix.gettimeofday () -. arrival))
+
+let shed_expired server (req : P.request) ~arrival =
+  match deadline_remaining req ~arrival with
+  | Some r when r <= 0. ->
+      Atomic.incr server.counters.deadline_exceeded;
+      Some
+        (P.response ?id:req.P.id
+           ~message:"deadline passed while the request was queued"
+           P.Deadline_exceeded)
+  | _ -> None
 
 let cap_budget config budget =
   let cap current limit ~smaller =
@@ -119,6 +185,20 @@ let cap_budget config budget =
       cap budget.Sat.Solver.max_memory_mb config.max_memory_mb ~smaller:( < );
   }
 
+let effective_budget server (req : P.request) ~arrival =
+  let budget = cap_budget server.config (P.budget_of_request req) in
+  match deadline_remaining req ~arrival with
+  | None -> budget
+  | Some remaining ->
+      let remaining = Float.max remaining 0.001 in
+      {
+        budget with
+        Sat.Solver.max_seconds =
+          (match budget.Sat.Solver.max_seconds with
+          | None -> Some remaining
+          | Some s -> Some (Float.min s remaining));
+      }
+
 let strategy_of_request (req : P.request) =
   match req.P.strategy with
   | None -> Ok C.Strategy.best_single
@@ -128,7 +208,15 @@ let record_json ~benchmark ~wall_seconds run =
   Eng.Run_record.to_json
     (Eng.Run_record.of_run ~benchmark ~wall_seconds run)
 
-let run_route server (req : P.request) strategy =
+(* ---------- request execution (runs on a pool worker) ---------- *)
+
+(* [suspect] is the per-request channel from worker to conn thread: the
+   worker writes the request's structural hash before anything can crash,
+   so when the ticket comes back as a worker death the conn thread knows
+   which content to blame. The ticket's own mutex orders the write before
+   the read. *)
+let run_route server (req : P.request) strategy ~arrival ~suspect ~kill_worker
+    =
   let t0 = Unix.gettimeofday () in
   match get_session server ~benchmark:req.P.benchmark strategy with
   | Error m -> P.response ?id:req.P.id ~message:m P.Failed
@@ -137,55 +225,98 @@ let run_route server (req : P.request) strategy =
         Session.cache_key session ~width:req.P.width
           ~budget_signature:(P.budget_signature req) ~certify:req.P.certify
       in
-      match Answer_cache.find server.cache key with
-      | Some run ->
-          Atomic.incr server.counters.cache_hits;
-          P.response ?id:req.P.id ~served_by:P.Cache ~run P.Done
-      | None ->
-          let budget = cap_budget server.config (P.budget_of_request req) in
-          Obs.Trace.record server.trace Obs.Trace.Solve_begin req.P.width 0;
-          let run, served_by =
-            if req.P.certify then begin
-              (* a warm UNSAT is relative to selector assumptions — not a
-                 standalone refutation — so certified answers take the
-                 full cold pipeline *)
-              Atomic.incr server.counters.cold;
-              let request =
-                C.Flow.(
-                  default_request |> with_strategy strategy
-                  |> with_budget budget |> with_certify true
-                  |> with_telemetry req.P.telemetry)
-              in
-              ( C.Flow.submit request (Session.route session)
-                  ~width:req.P.width,
-                P.Cold )
-            end
-            else begin
-              Atomic.incr server.counters.warm;
-              ( Session.route_warm ~budget ~telemetry:req.P.telemetry session
-                  ~width:req.P.width,
-                P.Warm )
-            end
-          in
-          Obs.Trace.record server.trace Obs.Trace.Solve_end req.P.width
-            (if C.Flow.decisive run.C.Flow.outcome then 1 else 0);
-          let wall_seconds = Unix.gettimeofday () -. t0 in
-          let json = record_json ~benchmark:req.P.benchmark ~wall_seconds run in
-          (* only decisive answers are cacheable: a timeout says nothing
-             about a retry *)
-          if C.Flow.decisive run.C.Flow.outcome then
-            Answer_cache.add server.cache key json;
-          P.response ?id:req.P.id ~served_by ~run:json P.Done)
+      let hash = structural_hash_of_key key in
+      suspect := Some hash;
+      if poison_count server hash >= quarantine_threshold then begin
+        Atomic.incr server.counters.quarantined;
+        P.response ?id:req.P.id
+          ~message:
+            (Printf.sprintf
+               "quarantined: requests on this problem killed %d workers"
+               (poison_count server hash))
+          P.Failed
+      end
+      else begin
+        if kill_worker then raise Eng.Pool.Persistent.Worker_killed;
+        match shed_expired server req ~arrival with
+        | Some shed -> shed
+        | None -> (
+            match Answer_cache.find server.cache key with
+            | Some run ->
+                Atomic.incr server.counters.cache_hits;
+                P.response ?id:req.P.id ~served_by:P.Cache ~run P.Done
+            | None ->
+                let budget = effective_budget server req ~arrival in
+                Obs.Trace.record server.trace Obs.Trace.Solve_begin
+                  req.P.width 0;
+                let run, served_by =
+                  if req.P.certify then begin
+                    (* a warm UNSAT is relative to selector assumptions —
+                       not a standalone refutation — so certified answers
+                       take the full cold pipeline *)
+                    Atomic.incr server.counters.cold;
+                    let request =
+                      C.Flow.(
+                        default_request |> with_strategy strategy
+                        |> with_budget budget |> with_certify true
+                        |> with_telemetry req.P.telemetry)
+                    in
+                    ( C.Flow.submit request (Session.route session)
+                        ~width:req.P.width,
+                      P.Cold )
+                  end
+                  else begin
+                    Atomic.incr server.counters.warm;
+                    ( Session.route_warm ~budget ~telemetry:req.P.telemetry
+                        session ~width:req.P.width,
+                      P.Warm )
+                  end
+                in
+                Obs.Trace.record server.trace Obs.Trace.Solve_end req.P.width
+                  (if C.Flow.decisive run.C.Flow.outcome then 1 else 0);
+                let wall_seconds = Unix.gettimeofday () -. t0 in
+                let json =
+                  record_json ~benchmark:req.P.benchmark ~wall_seconds run
+                in
+                (* only decisive answers are cacheable: a timeout says
+                   nothing about a retry *)
+                if C.Flow.decisive run.C.Flow.outcome then
+                  Answer_cache.add server.cache key json;
+                P.response ?id:req.P.id ~served_by ~run:json P.Done)
+      end)
 
-let run_min_width server (req : P.request) strategy =
+let run_min_width server (req : P.request) strategy ~arrival ~suspect
+    ~kill_worker =
   match get_session server ~benchmark:req.P.benchmark strategy with
   | Error m -> P.response ?id:req.P.id ~message:m P.Failed
   | Ok session -> (
-      let budget = cap_budget server.config (P.budget_of_request req) in
-      Atomic.incr server.counters.warm;
-      match Session.min_width ~budget session with
-      | Ok w -> P.response ?id:req.P.id ~served_by:P.Warm ~min_width:w P.Done
-      | Error m -> P.response ?id:req.P.id ~message:m P.Failed)
+      let key =
+        Session.cache_key session ~width:0
+          ~budget_signature:(P.budget_signature req) ~certify:false
+      in
+      let hash = structural_hash_of_key key in
+      suspect := Some hash;
+      if poison_count server hash >= quarantine_threshold then begin
+        Atomic.incr server.counters.quarantined;
+        P.response ?id:req.P.id
+          ~message:
+            (Printf.sprintf
+               "quarantined: requests on this problem killed %d workers"
+               (poison_count server hash))
+          P.Failed
+      end
+      else begin
+        if kill_worker then raise Eng.Pool.Persistent.Worker_killed;
+        match shed_expired server req ~arrival with
+        | Some shed -> shed
+        | None -> (
+            let budget = effective_budget server req ~arrival in
+            Atomic.incr server.counters.warm;
+            match Session.min_width ~budget session with
+            | Ok w ->
+                P.response ?id:req.P.id ~served_by:P.Warm ~min_width:w P.Done
+            | Error m -> P.response ?id:req.P.id ~message:m P.Failed)
+      end)
 
 (* ---------- server stats ---------- *)
 
@@ -203,6 +334,10 @@ let stats_json server =
       ("cold", J.Int (Atomic.get server.counters.cold));
       ("overloaded", J.Int (Atomic.get server.counters.overloaded));
       ("errors", J.Int (Atomic.get server.counters.errors));
+      ( "deadline_exceeded",
+        J.Int (Atomic.get server.counters.deadline_exceeded) );
+      ("quarantined", J.Int (Atomic.get server.counters.quarantined));
+      ("poisoned_hashes", J.Int (quarantined_count server));
       ("sessions", J.Int sessions);
       ("cache_entries", J.Int (Answer_cache.length server.cache));
       ("cache", J.Obj
@@ -210,12 +345,20 @@ let stats_json server =
            ("hits", J.Int hits);
            ("misses", J.Int misses);
            ("evictions", J.Int evictions);
+           ("replayed", J.Int (Answer_cache.replayed server.cache));
+           ("torn", J.Int (Answer_cache.torn server.cache));
+           ( "journal",
+             J.Bool (Answer_cache.journal_path server.cache <> None) );
          ]);
       ("pool", J.Obj
          [
            ("workers", J.Int (Eng.Pool.Persistent.workers server.pool));
            ("queued", J.Int queued);
            ("running", J.Int running);
+           ("deaths", J.Int (Eng.Pool.Persistent.deaths server.pool));
+           ("respawns", J.Int (Eng.Pool.Persistent.respawns server.pool));
+           ( "restart_budget",
+             J.Int (Eng.Pool.Persistent.restart_budget server.pool) );
          ]);
       ("trace_events", J.Int (Obs.Trace.total server.trace));
     ]
@@ -239,7 +382,7 @@ let stop_requested server = Atomic.get server.stop_requested
 
 (* ---------- per-request dispatch (connection thread) ---------- *)
 
-let submit_pooled server thunk ~id =
+let submit_pooled server thunk ~id ~suspect =
   match Eng.Pool.Persistent.submit server.pool thunk with
   | Eng.Pool.Persistent.Rejected ->
       Atomic.incr server.counters.overloaded;
@@ -249,14 +392,54 @@ let submit_pooled server thunk ~id =
   | Eng.Pool.Persistent.Accepted ticket -> (
       match Eng.Pool.Persistent.wait ticket with
       | Ok response -> response
+      | Error e when Eng.Failure.error_is_worker_death e ->
+          Atomic.incr server.counters.errors;
+          (match !suspect with
+          | Some hash -> record_poison server hash
+          | None -> ());
+          P.response ?id
+            ~message:
+              "worker died executing this request; it has been recorded \
+               against the problem's quarantine budget"
+            P.Failed
       | Error e ->
           Atomic.incr server.counters.errors;
           P.response ?id
             ~message:(Printf.sprintf "%s: %s" e.Eng.Pool.exn_class e.message)
             P.Failed)
 
+(* The [fault] field, honoured only under --test-ops. Conn-thread faults
+   (journal tear, self-SIGKILL) happen here; [Worker_kill] is threaded into
+   the solve thunk so the death happens on a worker domain mid-request. *)
+let resolve_fault server (req : P.request) =
+  match req.P.fault with
+  | None -> Ok false
+  | Some _ when not server.config.test_ops ->
+      Error "fault injection requires --test-ops"
+  | Some name -> (
+      match Eng.Chaos.Server.of_name name with
+      | None -> Error (Printf.sprintf "unknown fault %S" name)
+      | Some Eng.Chaos.Server.Worker_kill -> Ok true
+      | Some Eng.Chaos.Server.Torn_journal ->
+          (* the journal fd is O_APPEND, so journaling continues cleanly
+             at the truncated end — exactly the state a kill mid-append
+             leaves behind *)
+          (match Answer_cache.journal_path server.cache with
+          | Some path -> Eng.Chaos.Server.tear_journal path
+          | None -> ());
+          Ok false
+      | Some Eng.Chaos.Server.Kill_server ->
+          (* the real thing, not an exit: no drain, no unlink, no flush
+             beyond what the journal already forced *)
+          Unix.kill (Unix.getpid ()) Sys.sigkill;
+          Ok false
+      | Some Eng.Chaos.Server.Slow_client ->
+          (* inflicted from the client side; nothing to do in-server *)
+          Ok false)
+
 let handle_request server line =
   Atomic.incr server.counters.requests;
+  let arrival = Unix.gettimeofday () in
   let response =
     match P.parse_request line with
     | Error m ->
@@ -264,30 +447,46 @@ let handle_request server line =
         P.response ~message:m P.Failed
     | Ok req -> (
         let id = req.P.id in
-        match req.P.op with
-        | P.Ping ->
-            P.response ?id ~payload:(J.Obj [ ("pong", J.Bool true) ]) P.Done
-        | P.Stats -> P.response ?id ~payload:(stats_json server) P.Done
-        | P.Shutdown ->
-            request_stop server;
-            P.response ?id P.Done
-        | P.Sleep seconds when server.config.test_ops ->
-            submit_pooled server ~id (fun () ->
-                Unix.sleepf (Float.max 0. seconds);
-                P.response ?id P.Done)
-        | P.Sleep _ ->
+        match resolve_fault server req with
+        | Error m ->
             Atomic.incr server.counters.errors;
-            P.response ?id ~message:"op \"sleep\" requires --test-ops" P.Failed
-        | P.Route | P.Min_width -> (
-            match strategy_of_request req with
-            | Error m ->
+            P.response ?id ~message:m P.Failed
+        | Ok kill_worker -> (
+            match req.P.op with
+            | P.Ping ->
+                P.response ?id
+                  ~payload:(J.Obj [ ("pong", J.Bool true) ])
+                  P.Done
+            | P.Stats -> P.response ?id ~payload:(stats_json server) P.Done
+            | P.Shutdown ->
+                request_stop server;
+                P.response ?id P.Done
+            | P.Sleep seconds when server.config.test_ops ->
+                let suspect = ref None in
+                submit_pooled server ~id ~suspect (fun () ->
+                    if kill_worker then
+                      raise Eng.Pool.Persistent.Worker_killed;
+                    Unix.sleepf (Float.max 0. seconds);
+                    P.response ?id P.Done)
+            | P.Sleep _ ->
                 Atomic.incr server.counters.errors;
-                P.response ?id ~message:("bad strategy: " ^ m) P.Failed
-            | Ok strategy ->
-                submit_pooled server ~id (fun () ->
-                    match req.P.op with
-                    | P.Route -> run_route server req strategy
-                    | _ -> run_min_width server req strategy)))
+                P.response ?id ~message:"op \"sleep\" requires --test-ops"
+                  P.Failed
+            | P.Route | P.Min_width -> (
+                match strategy_of_request req with
+                | Error m ->
+                    Atomic.incr server.counters.errors;
+                    P.response ?id ~message:("bad strategy: " ^ m) P.Failed
+                | Ok strategy ->
+                    let suspect = ref None in
+                    submit_pooled server ~id ~suspect (fun () ->
+                        match req.P.op with
+                        | P.Route ->
+                            run_route server req strategy ~arrival ~suspect
+                              ~kill_worker
+                        | _ ->
+                            run_min_width server req strategy ~arrival
+                              ~suspect ~kill_worker))))
   in
   J.to_string (P.response_to_json response)
 
@@ -343,9 +542,62 @@ let accept_loop server () =
 
 (* ---------- lifecycle ---------- *)
 
+(* A leftover socket file can mean two very different things: a live
+   server (binding over it would silently steal its clients) or the
+   residue of a SIGKILL'd predecessor (refusing to bind would make every
+   crash need manual cleanup). A connect probe tells them apart: a live
+   listener accepts, a dead one's socket answers ECONNREFUSED. Only the
+   dead case is unlinked; anything else — a live server, a foreign
+   non-socket file — is an error, never a removal. *)
+let reclaim_socket path =
+  match (Unix.stat path).Unix.st_kind with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | Unix.S_SOCK -> (
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let probe =
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+        | exception Unix.Unix_error (e, _, _) -> `Error e
+      in
+      (try Unix.close fd with _ -> ());
+      match probe with
+      | `Live ->
+          failwith
+            (Printf.sprintf "a server is already listening on %s" path)
+      | `Stale ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+      | `Gone -> ()
+      | `Error e ->
+          failwith
+            (Printf.sprintf "cannot probe socket %s: %s" path
+               (Unix.error_message e)))
+  | _ ->
+      failwith
+        (Printf.sprintf "%s exists and is not a socket; refusing to remove it"
+           path)
+
 let start config =
+  (* Journal first: an un-attachable cache file (locked by a live server,
+     unwritable path) must fail before we own the socket. *)
+  let cache = Answer_cache.create ~capacity:config.cache_capacity () in
+  (match config.cache_file with
+  | None -> ()
+  | Some path -> (
+      match
+        Answer_cache.attach_journal cache ~path ~to_json:Fun.id
+          ~of_json:Option.some
+      with
+      | Ok _replayed -> ()
+      | Error m -> failwith (Printf.sprintf "cache journal %s: %s" path m)));
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  (match reclaim_socket config.socket_path with
+  | () -> ()
+  | exception e ->
+      (try Unix.close listener with _ -> ());
+      Answer_cache.detach_journal cache;
+      raise e);
   Unix.bind listener (Unix.ADDR_UNIX config.socket_path);
   Unix.listen listener 64;
   let server =
@@ -355,10 +607,12 @@ let start config =
       pool =
         Eng.Pool.Persistent.create ~workers:config.workers
           ~queue_capacity:config.queue_capacity ();
-      cache = Answer_cache.create ~capacity:config.cache_capacity ();
+      cache;
       sessions = Hashtbl.create 16;
       sessions_mutex = Mutex.create ();
       session_tick = 0;
+      poison = Hashtbl.create 8;
+      poison_mutex = Mutex.create ();
       trace = Obs.Trace.create ();
       counters =
         {
@@ -368,6 +622,8 @@ let start config =
           cold = Atomic.make 0;
           overloaded = Atomic.make 0;
           errors = Atomic.make 0;
+          deadline_exceeded = Atomic.make 0;
+          quarantined = Atomic.make 0;
         };
       stop_requested = Atomic.make false;
       drained = Atomic.make false;
@@ -378,6 +634,8 @@ let start config =
   in
   server.accept_thread <- Some (Thread.create (accept_loop server) ());
   server
+
+let replayed server = Answer_cache.replayed server.cache
 
 let stop server =
   request_stop server;
@@ -402,6 +660,8 @@ let stop server =
     (* 3. drain the worker pool: every accepted job finishes, every worker
        domain is joined — no orphans *)
     Eng.Pool.Persistent.shutdown server.pool;
+    (* 4. only now is the journal quiescent *)
+    Answer_cache.detach_journal server.cache;
     (try Unix.unlink server.config.socket_path with Unix.Unix_error _ -> ())
   end
 

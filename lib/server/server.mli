@@ -8,17 +8,29 @@
       later width query.
     - {b Answer cache} ({!Answer_cache}): decisive answers keyed by
       CNF structural hash × strategy × width × budget × certify are
-      replayed without running a solver.
+      replayed without running a solver. With [cache_file] set the cache
+      keeps a write-ahead journal, so the answers survive a [kill -9]
+      and a restarted server replays them byte-identically.
     - {b Admission control} ({!Fpgasat_engine.Pool.Persistent}): a fixed
       worker-domain pool with a bounded queue. A request past capacity
       gets an [overloaded] response immediately; once drain begins, a
       [shutting_down] response.
 
+    Crash-only design: the server assumes it will die rudely and makes
+    restart the recovery path. A worker domain that dies mid-request is
+    respawned within the pool's restart budget (the waiting client gets an
+    [error], never a hang); a request whose content kills workers
+    repeatedly is quarantined by CNF structural hash instead of draining
+    the budget; a stale socket from a killed predecessor is probed and
+    reclaimed at startup (a {e live} server's socket is never stolen);
+    requests carry optional deadlines and are shed with
+    [deadline_exceeded] when queue wait has already consumed them.
+
     Concurrency model: one lightweight thread per connection parses and
     frames; CPU-bound solving runs on the persistent domain pool. SIGTERM
     (or the protocol [shutdown] op) triggers a graceful drain — in-flight
     requests finish, every connection thread and worker domain is joined,
-    the socket file is removed. *)
+    the journal is closed, the socket file is removed. *)
 
 type config = {
   socket_path : string;
@@ -34,9 +46,15 @@ type config = {
       (** Server-side ceiling on any request's time budget. *)
   max_memory_mb : int option;
       (** Server-side ceiling on any request's memory budget. *)
+  cache_file : string option;
+      (** Journal the answer cache to this JSONL file
+          ({!Answer_cache.attach_journal}): replayed on startup, appended
+          under a pid lock while serving. [None] (default) keeps the
+          cache in memory only. *)
   test_ops : bool;
-      (** Enable the [sleep] op — deterministic load for overload/drain
-          tests; keep off in production. *)
+      (** Enable the [sleep] op and the request [fault] field —
+          deterministic load and chaos injection for tests; keep off in
+          production. *)
 }
 
 val default_config : socket_path:string -> config
@@ -44,13 +62,20 @@ val default_config : socket_path:string -> config
 type t
 
 val start : config -> t
-(** Binds the socket (unlinking a stale file), spawns the worker pool and
-    the accept thread, returns immediately. *)
+(** Attaches the cache journal (when configured), binds the socket,
+    spawns the worker pool and the accept thread, returns immediately.
+
+    A pre-existing socket file is probed with a connect: one refused is
+    the residue of a killed predecessor and is reclaimed; one accepted
+    belongs to a live server and [start] raises [Failure] instead of
+    stealing its clients (as it does for a path that exists but is not a
+    socket, or a cache file locked by a live process). *)
 
 val stop : t -> unit
 (** Graceful drain: stops accepting, lets in-flight requests finish,
-    joins every connection thread and worker domain, closes and unlinks
-    the socket. Idempotent; blocks until fully drained. *)
+    joins every connection thread and worker domain, closes the journal,
+    closes and unlinks the socket. Idempotent; blocks until fully
+    drained. *)
 
 val request_stop : t -> unit
 (** Async-signal-safe part of {!stop}: flags the stop and wakes the
@@ -65,7 +90,16 @@ val run : config -> unit
     drain via {!stop}. The daemon entry point behind [fpgasat serve]. *)
 
 val stats_json : t -> Fpgasat_obs.Json.t
-(** The same counters the protocol [stats] op returns. *)
+(** The same counters the protocol [stats] op returns. Alongside the
+    request/cache/session gauges: [pool.deaths] and [pool.respawns] (the
+    supervision history), [cache.replayed] and [cache.torn] (what the
+    journal replay recovered and skipped), [deadline_exceeded] and
+    [quarantined] shed counts, and [poisoned_hashes] (problems currently
+    quarantined). *)
+
+val replayed : t -> int
+(** Journal entries replayed into the cache at startup (0 without
+    [cache_file]). *)
 
 val trace : t -> Fpgasat_obs.Trace.t
 (** Per-request solve spans ([Solve_begin]/[Solve_end]) recorded by the

@@ -1,4 +1,4 @@
-(* Tests for the core flow: strategies, the end-to-end check_width pipeline,
+(* Tests for the core flow: strategies, the end-to-end Flow.submit pipeline,
    minimal-width binary search, and report formatting. *)
 
 module Sat = Fpgasat_sat
@@ -134,14 +134,7 @@ let test_flow_rejects_bad_width () =
   Alcotest.check_raises "width 0" (Invalid_argument "Flow.submit: width < 1")
     (fun () -> ignore (Flow.submit Flow.default_request small_route ~width:0))
 
-let[@warning "-3"] test_flow_deprecated_check_width () =
-  (* one release of compatibility: the wrapper must agree with submit *)
-  let a = Flow.check_width small_route ~width:small_ub in
-  let b = Flow.submit Flow.default_request small_route ~width:small_ub in
-  Alcotest.(check bool) "wrapper agrees with submit" true
-    (Flow.decisive a.Flow.outcome = Flow.decisive b.Flow.outcome)
-
-let test_color_graph_matches_check_width () =
+let test_color_graph_at_upper_bound () =
   let answer, _ = Flow.color_graph small_graph ~k:small_ub in
   (match answer with
   | `Colorable coloring ->
@@ -301,9 +294,7 @@ let () =
           Alcotest.test_case "all encodings agree" `Slow test_flow_all_encodings_agree;
           Alcotest.test_case "budget timeout" `Quick test_flow_budget_timeout;
           Alcotest.test_case "bad width rejected" `Quick test_flow_rejects_bad_width;
-          Alcotest.test_case "deprecated check_width wrapper" `Quick
-            test_flow_deprecated_check_width;
-          Alcotest.test_case "color_graph" `Quick test_color_graph_matches_check_width;
+          Alcotest.test_case "color_graph" `Quick test_color_graph_at_upper_bound;
         ] );
       ( "binary-search",
         [

@@ -159,6 +159,305 @@ let test_cache_refresh_on_add () =
     (Srv.Answer_cache.find c "a" = Some 10
     && Srv.Answer_cache.find c "b" = None)
 
+(* ---------- Answer_cache: write-ahead journal ---------- *)
+
+let tmp_journal () = Filename.temp_file "fpgasat-journal" ".jsonl"
+
+let journal_cleanup path =
+  List.iter
+    (fun p -> try Sys.remove p with Sys_error _ -> ())
+    [ path; path ^ ".lock"; path ^ ".compact" ]
+
+let attach_ok cache path =
+  match
+    Srv.Answer_cache.attach_journal cache ~path ~to_json:Fun.id
+      ~of_json:Option.some
+  with
+  | Ok n -> n
+  | Error m -> Alcotest.fail ("attach_journal: " ^ m)
+
+let count_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = ref 0 in
+      (try
+         while true do
+           ignore (input_line ic);
+           incr n
+         done
+       with End_of_file -> ());
+      !n)
+
+let test_journal_replay_and_compaction () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let a1 = J.Obj [ ("outcome", J.String "routable"); ("width", J.Int 4) ]
+      and b = J.Obj [ ("outcome", J.String "unroutable"); ("width", J.Int 3) ]
+      and a2 = J.Obj [ ("outcome", J.String "routable"); ("width", J.Int 5) ] in
+      let c1 = Srv.Answer_cache.create ~capacity:8 () in
+      Alcotest.(check int) "fresh journal replays nothing" 0
+        (attach_ok c1 path);
+      Srv.Answer_cache.add c1 "a" a1;
+      Srv.Answer_cache.add c1 "b" b;
+      Srv.Answer_cache.add c1 "a" a2;
+      Srv.Answer_cache.detach_journal c1;
+      Alcotest.(check int) "three appended lines" 3 (count_lines path);
+      let c2 = Srv.Answer_cache.create ~capacity:8 () in
+      Alcotest.(check int) "all lines replayed" 3 (attach_ok c2 path);
+      Alcotest.(check int) "torn count zero" 0 (Srv.Answer_cache.torn c2);
+      (* later lines supersede earlier ones; replayed values are
+         byte-identical to what was stored *)
+      (match Srv.Answer_cache.find c2 "a" with
+      | Some v ->
+          Alcotest.(check string) "a superseded, byte-identical"
+            (J.to_string a2) (J.to_string v)
+      | None -> Alcotest.fail "key a lost in replay");
+      (match Srv.Answer_cache.find c2 "b" with
+      | Some v ->
+          Alcotest.(check string) "b byte-identical" (J.to_string b)
+            (J.to_string v)
+      | None -> Alcotest.fail "key b lost in replay");
+      (* attach compacted the file: dead supersessions are gone *)
+      Alcotest.(check int) "compacted to live entries" 2 (count_lines path);
+      Srv.Answer_cache.detach_journal c2)
+
+let test_journal_tolerates_torn_tail () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let c1 = Srv.Answer_cache.create () in
+      ignore (attach_ok c1 path);
+      Srv.Answer_cache.add c1 "a" (J.Obj [ ("n", J.Int 1) ]);
+      Srv.Answer_cache.add c1 "b" (J.Obj [ ("n", J.Int 2) ]);
+      Srv.Answer_cache.add c1 "c" (J.Obj [ ("n", J.Int 3) ]);
+      Srv.Answer_cache.detach_journal c1;
+      (* the torn final line a kill mid-append leaves behind *)
+      Eng.Chaos.Server.tear_journal ~bytes:3 path;
+      let c2 = Srv.Answer_cache.create () in
+      Alcotest.(check int) "intact lines replayed" 2 (attach_ok c2 path);
+      Alcotest.(check int) "torn fragment counted" 1
+        (Srv.Answer_cache.torn c2);
+      Alcotest.(check bool) "torn entry dropped" true
+        (Srv.Answer_cache.find c2 "c" = None);
+      Alcotest.(check bool) "intact entries survive" true
+        (Srv.Answer_cache.find c2 "a" <> None
+        && Srv.Answer_cache.find c2 "b" <> None);
+      (* compaction removed the fragment: a further replay is clean *)
+      Srv.Answer_cache.detach_journal c2;
+      let c3 = Srv.Answer_cache.create () in
+      ignore (attach_ok c3 path);
+      Alcotest.(check int) "fragment compacted away" 0
+        (Srv.Answer_cache.torn c3);
+      Srv.Answer_cache.detach_journal c3)
+
+let test_journal_capacity_truncates_replay () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let c1 = Srv.Answer_cache.create ~capacity:16 () in
+      ignore (attach_ok c1 path);
+      for i = 1 to 10 do
+        Srv.Answer_cache.add c1
+          (Printf.sprintf "k%d" i)
+          (J.Obj [ ("n", J.Int i) ])
+      done;
+      Srv.Answer_cache.detach_journal c1;
+      (* replaying into a smaller cache keeps only the newest entries *)
+      let c2 = Srv.Answer_cache.create ~capacity:4 () in
+      ignore (attach_ok c2 path);
+      Alcotest.(check int) "LRU capacity bounds the replay" 4
+        (Srv.Answer_cache.length c2);
+      Alcotest.(check bool) "newest entries retained" true
+        (Srv.Answer_cache.find c2 "k10" <> None
+        && Srv.Answer_cache.find c2 "k1" = None);
+      (* and compaction bounded the file to what survived *)
+      Alcotest.(check int) "file bounded by capacity" 4 (count_lines path);
+      Srv.Answer_cache.detach_journal c2)
+
+let test_journal_lock_excludes_second_writer () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let c1 = Srv.Answer_cache.create () in
+      ignore (attach_ok c1 path);
+      let c2 = Srv.Answer_cache.create () in
+      (match
+         Srv.Answer_cache.attach_journal c2 ~path ~to_json:Fun.id
+           ~of_json:Option.some
+       with
+      | Error m ->
+          Alcotest.(check bool) "error names the lock" true
+            (let lower = String.lowercase_ascii m in
+             let has_sub needle =
+               let nl = String.length needle and ll = String.length lower in
+               let rec at i =
+                 i + nl <= ll
+                 && (String.sub lower i nl = needle || at (i + 1))
+               in
+               at 0
+             in
+             has_sub "lock")
+      | Ok _ -> Alcotest.fail "two live journals on one file");
+      Srv.Answer_cache.detach_journal c1;
+      (* the release frees the file for the next owner *)
+      let c3 = Srv.Answer_cache.create () in
+      ignore (attach_ok c3 path);
+      Srv.Answer_cache.detach_journal c3)
+
+(* Linearizability-style smoke under real parallelism: values are a pure
+   function of their key, so whatever interleaving of add/find/evict the
+   domains produce, a hit may only ever return its key's value, and the
+   LRU bound must hold afterwards. *)
+let qcheck_cache_concurrent =
+  QCheck2.Test.make ~count:10
+    ~name:"answer cache: concurrent domains only ever see coherent entries"
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let capacity = 8 in
+      let cache = Srv.Answer_cache.create ~capacity () in
+      let keys = Array.init 16 (Printf.sprintf "key-%d") in
+      let value k = "value-of:" ^ k in
+      let coherent = Atomic.make true in
+      let worker d =
+        let st = Random.State.make [| seed; d |] in
+        for _ = 1 to 300 do
+          let k = keys.(Random.State.int st (Array.length keys)) in
+          if Random.State.bool st then Srv.Answer_cache.add cache k (value k)
+          else
+            match Srv.Answer_cache.find cache k with
+            | None -> ()
+            | Some v ->
+                if not (String.equal v (value k)) then
+                  Atomic.set coherent false
+        done
+      in
+      let domains =
+        List.init 4 (fun d -> Domain.spawn (fun () -> worker d))
+      in
+      List.iter Domain.join domains;
+      Atomic.get coherent && Srv.Answer_cache.length cache <= capacity)
+
+(* ---------- Pool.Persistent: worker supervision ---------- *)
+
+let rec wait_until what f n =
+  if n = 0 then Alcotest.fail ("timed out waiting for " ^ what);
+  if not (f ()) then begin
+    Thread.delay 0.01;
+    wait_until what f (n - 1)
+  end
+
+let test_pool_respawns_killed_worker () =
+  let pool =
+    Eng.Pool.Persistent.create ~workers:2 ~restart_backoff:0.01 ()
+  in
+  (match
+     Eng.Pool.Persistent.run pool (fun () ->
+         raise Eng.Pool.Persistent.Worker_killed)
+   with
+  | Some (Error e) ->
+      Alcotest.(check bool) "classified as a worker death" true
+        (Eng.Failure.error_is_worker_death e)
+  | Some (Ok ()) -> Alcotest.fail "killing thunk returned Ok"
+  | None -> Alcotest.fail "pool refused work");
+  (* the ticket is filled before the dying domain reaches its death
+     handler, so the counters lag the Error result — poll for them *)
+  wait_until "death recorded"
+    (fun () -> Eng.Pool.Persistent.deaths pool = 1)
+    500;
+  wait_until "replacement worker spawned"
+    (fun () -> Eng.Pool.Persistent.workers pool = 2)
+    500;
+  Alcotest.(check int) "one death" 1 (Eng.Pool.Persistent.deaths pool);
+  Alcotest.(check int) "one respawn" 1 (Eng.Pool.Persistent.respawns pool);
+  (* the pool still works after supervision *)
+  (match Eng.Pool.Persistent.run pool (fun () -> 6 * 7) with
+  | Some (Ok v) -> Alcotest.(check int) "post-respawn result" 42 v
+  | _ -> Alcotest.fail "pool dead after respawn");
+  Eng.Pool.Persistent.shutdown pool;
+  Alcotest.(check int) "workers joined" 0 (Eng.Pool.Persistent.workers pool)
+
+let test_pool_restart_budget_exhausts () =
+  let pool =
+    Eng.Pool.Persistent.create ~workers:1 ~restart_budget:1
+      ~restart_backoff:0.005 ()
+  in
+  let kill () =
+    match
+      Eng.Pool.Persistent.run pool (fun () ->
+          raise Eng.Pool.Persistent.Worker_killed)
+    with
+    | Some (Error _) -> ()
+    | _ -> Alcotest.fail "kill did not error"
+  in
+  kill ();
+  wait_until "budgeted respawn"
+    (fun () -> Eng.Pool.Persistent.respawns pool = 1)
+    500;
+  kill ();
+  (* the budget (1) is spent: the second death is not replaced *)
+  wait_until "budget exhausted, pool empty"
+    (fun () -> Eng.Pool.Persistent.workers pool = 0)
+    500;
+  Alcotest.(check int) "two deaths" 2 (Eng.Pool.Persistent.deaths pool);
+  Alcotest.(check int) "one respawn" 1 (Eng.Pool.Persistent.respawns pool);
+  Eng.Pool.Persistent.shutdown pool
+
+(* ---------- Chaos.Server: plans and the invariant checker ---------- *)
+
+let test_chaos_server_plan_deterministic () =
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Eng.Chaos.Server.fault_name f ^ " name round-trips")
+        true
+        (Eng.Chaos.Server.of_name (Eng.Chaos.Server.fault_name f) = Some f))
+    Eng.Chaos.Server.all;
+  Alcotest.(check bool) "unknown name rejected" true
+    (Eng.Chaos.Server.of_name "meteor_strike" = None);
+  let a = Eng.Chaos.Server.plan ~seed:7 ~n:12
+  and b = Eng.Chaos.Server.plan ~seed:7 ~n:12
+  and c = Eng.Chaos.Server.plan ~seed:8 ~n:12 in
+  Alcotest.(check bool) "same seed, same plan" true (a = b);
+  Alcotest.(check bool) "different seed, different plan" true (a <> c);
+  (* full taxonomy coverage even in a short plan *)
+  Array.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Eng.Chaos.Server.fault_name kind ^ " appears")
+        true
+        (Array.exists (fun f -> f = kind) a))
+    Eng.Chaos.Server.all
+
+let test_chaos_server_invariant_checker () =
+  let stats workers =
+    J.Obj [ ("pool", J.Obj [ ("workers", J.Int workers) ]) ]
+  in
+  (match
+     Eng.Chaos.Server.check_invariants ~expected_workers:2 ~stats:(stats 2)
+       ~pairs:[ ("{\"a\":1}", "{\"a\":1}") ]
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (match
+     Eng.Chaos.Server.check_invariants ~expected_workers:2 ~stats:(stats 1)
+       ~pairs:[]
+   with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing worker not flagged");
+  match
+    Eng.Chaos.Server.check_invariants ~expected_workers:2 ~stats:(stats 2)
+      ~pairs:[ ("{\"a\":1}", "{\"a\":2}") ]
+  with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "non-identical replay not flagged"
+
 (* ---------- Protocol: JSON round-trips and strict parsing ---------- *)
 
 let test_protocol_request_roundtrip () =
@@ -166,6 +465,8 @@ let test_protocol_request_roundtrip () =
     [
       P.request ~id:"r1" ~strategy:"log@minisat" ~max_conflicts:500
         ~max_seconds:2.5 ~max_memory_mb:64 ~certify:true ~telemetry:true
+        ~benchmark:"alu2" ~width:4 P.Route;
+      P.request ~id:"r2" ~deadline_ms:750 ~fault:"worker_kill"
         ~benchmark:"alu2" ~width:4 P.Route;
       P.request ~benchmark:"alu2" P.Min_width;
       P.request P.Ping;
@@ -194,6 +495,7 @@ let test_protocol_response_roundtrip () =
       P.response ~message:"bad strategy" P.Failed;
       P.response P.Overloaded;
       P.response P.Shutting_down;
+      P.response ~id:"d1" ~message:"deadline passed" P.Deadline_exceeded;
     ]
   in
   List.iter
@@ -402,13 +704,15 @@ let fresh_socket_path =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "fpgasat-test-%d-%d.sock" (Unix.getpid ()) !counter)
 
-let with_server ?(workers = 2) ?(queue_capacity = 16) ?(test_ops = true) f =
+let with_server ?(workers = 2) ?(queue_capacity = 16) ?(test_ops = true)
+    ?cache_file f =
   let socket_path = fresh_socket_path () in
   let config =
     {
       (Srv.Server.default_config ~socket_path) with
       Srv.Server.workers;
       queue_capacity;
+      cache_file;
       test_ops;
     }
   in
@@ -641,9 +945,344 @@ let test_sleep_gated_behind_test_ops () =
   with_server ~test_ops:false (fun _server socket ->
       let resp = call_ok socket (P.request (P.Sleep 0.01)) in
       Alcotest.(check string) "sleep refused without test_ops" "error"
-        (P.status_name resp.P.status))
+        (P.status_name resp.P.status);
+      let faulty =
+        call_ok socket (P.request ~fault:"worker_kill" P.Ping)
+      in
+      Alcotest.(check string) "fault refused without test_ops" "error"
+        (P.status_name faulty.P.status))
+
+(* ---------- crash-safety: respawn, quarantine, deadlines ---------- *)
+
+let server_pool_gauge server key =
+  match J.find (Srv.Server.stats_json server) "pool" with
+  | Some pool -> (
+      match J.find pool key with Some (J.Int n) -> n | _ -> -1)
+  | None -> -1
+
+let test_server_worker_kill_respawn_and_quarantine () =
+  with_server ~workers:2 (fun server socket ->
+      let req =
+        P.request ~strategy:"direct@siege" ~benchmark:"alu2" ~width:5 P.Route
+      in
+      let kill () =
+        let resp = call_ok socket { req with P.fault = Some "worker_kill" } in
+        Alcotest.(check string) "killed request errors, never hangs" "error"
+          (P.status_name resp.P.status);
+        Alcotest.(check bool) "error names the worker death" true
+          (match resp.P.message with
+          | Some m ->
+              String.length m >= 6 && String.sub m 0 6 = "worker"
+          | None -> false)
+      in
+      kill ();
+      (* the error response is written before the dying domain runs its
+         death handler — poll the death counter, not just the gauge *)
+      wait_until "first death and respawn"
+        (fun () ->
+          server_pool_gauge server "deaths" = 1
+          && server_pool_gauge server "workers" = 2)
+        500;
+      kill ();
+      wait_until "second death and respawn"
+        (fun () ->
+          server_pool_gauge server "deaths" = 2
+          && server_pool_gauge server "workers" = 2)
+        500;
+      Alcotest.(check int) "two deaths recorded" 2
+        (server_pool_gauge server "deaths");
+      Alcotest.(check int) "two respawns recorded" 2
+        (server_pool_gauge server "respawns");
+      (* two deaths on the same CNF: the problem is now quarantined — the
+         same request without a fault is refused without touching the
+         pool, and the pool keeps its workers *)
+      let resp = call_ok socket req in
+      Alcotest.(check string) "quarantined request errors" "error"
+        (P.status_name resp.P.status);
+      Alcotest.(check bool) "error says quarantined" true
+        (match resp.P.message with
+        | Some m -> String.length m >= 11 && String.sub m 0 11 = "quarantined"
+        | None -> false);
+      Alcotest.(check int) "no further death" 2
+        (server_pool_gauge server "deaths");
+      (* the supervisor invariant: pool restored to configured size *)
+      (match
+         Eng.Chaos.Server.check_invariants ~expected_workers:2
+           ~stats:(Srv.Server.stats_json server)
+           ~pairs:[]
+       with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail m);
+      (* other problems are unaffected by the quarantine *)
+      let pong = call_ok socket (P.request P.Ping) in
+      Alcotest.(check string) "server still serves" "ok"
+        (P.status_name pong.P.status))
+
+let test_server_deadline_exceeded () =
+  with_server ~workers:1 (fun server socket ->
+      (* warm the session so the deadline request's queue wait is the only
+         variable under test *)
+      let req =
+        P.request ~strategy:"direct@siege" ~benchmark:"alu2" ~width:5 P.Route
+      in
+      let first = call_ok socket req in
+      Alcotest.(check string) "warm-up ok" "ok" (P.status_name first.P.status);
+      (* the warm-up stays in the running gauge until its worker loops
+         back to the queue (the response is written first) — drain it so
+         the next running=1 really is the sleeper *)
+      wait_until "warm-up drained"
+        (fun () -> server_pool_gauge server "running" = 0)
+        300;
+      (* occupy the only worker, then queue a request whose deadline will
+         pass while it waits *)
+      let sleeper =
+        Thread.create
+          (fun () ->
+            ignore (Srv.Client.one_shot ~socket (P.request (P.Sleep 0.5))))
+          ()
+      in
+      wait_until "sleeper running"
+        (fun () -> server_pool_gauge server "running" = 1)
+        300;
+      let shed = call_ok socket { req with P.deadline_ms = Some 50 } in
+      Alcotest.(check string) "expired in queue -> shed" "deadline_exceeded"
+        (P.status_name shed.P.status);
+      Thread.join sleeper;
+      (* a generous deadline passes through untouched (cache hit) *)
+      let ok = call_ok socket { req with P.deadline_ms = Some 60_000 } in
+      Alcotest.(check string) "generous deadline ok" "ok"
+        (P.status_name ok.P.status);
+      Alcotest.(check bool) "deadline shed counted" true
+        (match J.find (Srv.Server.stats_json server) "deadline_exceeded" with
+        | Some (J.Int n) -> n >= 1
+        | _ -> false))
+
+(* ---------- crash-safety: journal restart and stale sockets ---------- *)
+
+let test_server_journal_survives_restart () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let req =
+        P.request ~strategy:"direct@siege" ~benchmark:"alu2" ~width:5 P.Route
+      in
+      let first_run =
+        with_server ~workers:1 ~cache_file:path (fun _server socket ->
+            let resp = call_ok socket req in
+            Alcotest.(check string) "decisive answer" "ok"
+              (P.status_name resp.P.status);
+            match resp.P.run with
+            | Some run -> J.to_string run
+            | None -> Alcotest.fail "route response without run payload")
+      in
+      Alcotest.(check bool) "journal captured the answer" true
+        (count_lines path >= 1);
+      (* a "restarted" server on the same journal serves the answer from
+         cache, byte-identically, without running a solver *)
+      with_server ~workers:1 ~cache_file:path (fun server socket ->
+          Alcotest.(check bool) "entries replayed at startup" true
+            (Srv.Server.replayed server >= 1);
+          let resp = call_ok socket req in
+          Alcotest.(check bool) "served from cache" true
+            (resp.P.served_by = Some P.Cache);
+          let second_run =
+            match resp.P.run with
+            | Some run -> J.to_string run
+            | None -> Alcotest.fail "cached response without run payload"
+          in
+          match
+            Eng.Chaos.Server.check_invariants ~expected_workers:1
+              ~stats:(Srv.Server.stats_json server)
+              ~pairs:[ (first_run, second_run) ]
+          with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m))
+
+let test_server_journal_lock_excludes_second_server () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      with_server ~cache_file:path (fun _server _socket ->
+          let config =
+            {
+              (Srv.Server.default_config ~socket_path:(fresh_socket_path ()))
+              with
+              Srv.Server.cache_file = Some path;
+            }
+          in
+          match Srv.Server.start config with
+          | exception Failure _ -> ()
+          | second ->
+              Srv.Server.stop second;
+              Alcotest.fail "two live servers shared one cache journal"))
+
+let test_server_torn_journal_fault () =
+  let path = tmp_journal () in
+  Fun.protect
+    ~finally:(fun () -> journal_cleanup path)
+    (fun () ->
+      let req =
+        P.request ~strategy:"direct@siege" ~benchmark:"alu2" ~width:5 P.Route
+      in
+      with_server ~workers:1 ~cache_file:path (fun _server socket ->
+          let resp = call_ok socket req in
+          Alcotest.(check string) "decisive answer" "ok"
+            (P.status_name resp.P.status);
+          (* tear the journal mid-flight, as a kill mid-append would *)
+          let torn = call_ok socket (P.request ~fault:"torn_journal" P.Ping) in
+          Alcotest.(check string) "fault carrier still answered" "ok"
+            (P.status_name torn.P.status));
+      (* the restarted server replays nothing (the only line is torn) but
+         starts, counts the damage, and serves fresh answers *)
+      with_server ~workers:1 ~cache_file:path (fun server socket ->
+          Alcotest.(check int) "torn line skipped, not fatal" 0
+            (Srv.Server.replayed server);
+          let resp = call_ok socket req in
+          Alcotest.(check string) "re-solved after data loss" "ok"
+            (P.status_name resp.P.status);
+          Alcotest.(check bool) "not from cache" true
+            (resp.P.served_by <> Some P.Cache)))
+
+let test_server_reclaims_stale_socket () =
+  let socket_path = fresh_socket_path () in
+  (* the residue of a SIGKILL'd server: a bound-then-abandoned socket
+     file nobody is listening on *)
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  Alcotest.(check bool) "stale socket file present" true
+    (Sys.file_exists socket_path);
+  let server = Srv.Server.start (Srv.Server.default_config ~socket_path) in
+  Fun.protect
+    ~finally:(fun () -> Srv.Server.stop server)
+    (fun () ->
+      match Srv.Client.one_shot ~socket:socket_path (P.request P.Ping) with
+      | Ok resp ->
+          Alcotest.(check string) "reclaimed and serving" "ok"
+            (P.status_name resp.P.status)
+      | Error m -> Alcotest.fail m)
+
+let test_server_never_steals_live_socket () =
+  with_server (fun _server socket ->
+      match Srv.Server.start (Srv.Server.default_config ~socket_path:socket) with
+      | exception Failure _ -> ()
+      | second ->
+          Srv.Server.stop second;
+          Alcotest.fail "second server bound over a live one");
+  (* and a foreign non-socket file is never unlinked *)
+  let decoy = Filename.temp_file "fpgasat-not-a-socket" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove decoy with Sys_error _ -> ())
+    (fun () ->
+      match Srv.Server.start (Srv.Server.default_config ~socket_path:decoy) with
+      | exception Failure _ ->
+          Alcotest.(check bool) "decoy file untouched" true
+            (Sys.file_exists decoy)
+      | second ->
+          Srv.Server.stop second;
+          Alcotest.fail "server bound over a regular file")
+
+(* ---------- crash-safety: client timeouts and retry ---------- *)
+
+let test_client_timeout_bounds_hung_server () =
+  (* a listener that accepts and then never answers *)
+  let socket_path = fresh_socket_path () in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX socket_path);
+  Unix.listen listener 1;
+  let accepted = ref None in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        match Unix.accept listener with
+        | fd, _ -> accepted := Some fd
+        | exception Unix.Unix_error _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (match !accepted with Some fd -> (try Unix.close fd with _ -> ()) | None -> ());
+      (try Unix.close listener with _ -> ());
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      Thread.join acceptor)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match
+        Srv.Client.one_shot ~timeout:0.2 ~socket:socket_path
+          (P.request P.Ping)
+      with
+      | Ok _ -> Alcotest.fail "mute server produced a response"
+      | Error _ ->
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool) "timed out promptly, did not hang" true
+            (elapsed < 5.))
+
+let test_client_retry_rides_out_overload () =
+  with_server ~workers:1 ~queue_capacity:1 (fun server socket ->
+      (* warm the session so the retried request is served instantly once
+         admitted *)
+      let req =
+        P.request ~strategy:"direct@siege" ~benchmark:"alu2" ~width:5 P.Route
+      in
+      let first = call_ok socket req in
+      Alcotest.(check string) "warm-up ok" "ok" (P.status_name first.P.status);
+      wait_until "warm-up drained"
+        (fun () -> server_pool_gauge server "running" = 0)
+        300;
+      (* saturate: one sleep running, one queued *)
+      let sleeper secs =
+        Thread.create
+          (fun () ->
+            ignore (Srv.Client.one_shot ~socket (P.request (P.Sleep secs))))
+          ()
+      in
+      let a = sleeper 0.4 in
+      wait_until "sleeper running"
+        (fun () -> server_pool_gauge server "running" = 1)
+        300;
+      let b = sleeper 0.4 in
+      wait_until "sleeper queued"
+        (fun () -> server_pool_gauge server "queued" = 1)
+        300;
+      (* a plain call bounces; the retrying call rides the backlog out *)
+      let bounced = call_ok socket req in
+      Alcotest.(check string) "plain call overloaded" "overloaded"
+        (P.status_name bounced.P.status);
+      (match
+         Srv.Client.call_with_retry ~retries:8 ~backoff:0.05 ~seed:42 ~socket
+           req
+       with
+      | Ok resp ->
+          Alcotest.(check string) "retry eventually admitted" "ok"
+            (P.status_name resp.P.status)
+      | Error m -> Alcotest.fail ("retry gave up: " ^ m));
+      Thread.join a;
+      Thread.join b)
+
+let test_client_never_retries_non_idempotent () =
+  Alcotest.(check bool) "route is idempotent" true (P.idempotent P.Route);
+  Alcotest.(check bool) "stats is idempotent" true (P.idempotent P.Stats);
+  Alcotest.(check bool) "shutdown is not" false (P.idempotent P.Shutdown);
+  Alcotest.(check bool) "sleep is not" false (P.idempotent (P.Sleep 1.));
+  (* a non-idempotent request against a dead socket fails once, no retry
+     loop: the call returns well before the backoff schedule would *)
+  let t0 = Unix.gettimeofday () in
+  (match
+     Srv.Client.call_with_retry ~retries:8 ~backoff:0.2
+       ~socket:(fresh_socket_path ()) (P.request P.Shutdown)
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "response from a dead socket");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "no backoff schedule was slept" true (elapsed < 0.2)
 
 let qtests = List.map QCheck_alcotest.to_alcotest [ qcheck_structural_hash ]
+
+let cache_qtests =
+  List.map QCheck_alcotest.to_alcotest [ qcheck_cache_concurrent ]
 
 let () =
   Alcotest.run "server"
@@ -658,12 +1297,33 @@ let () =
             test_pool_admission_control;
           Alcotest.test_case "shutdown drains the backlog" `Quick
             test_pool_shutdown_drains_backlog;
+          Alcotest.test_case "killed worker is respawned" `Quick
+            test_pool_respawns_killed_worker;
+          Alcotest.test_case "restart budget exhausts" `Quick
+            test_pool_restart_budget_exhausts;
         ] );
       ( "cache",
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction
+        :: Alcotest.test_case "re-add refreshes" `Quick
+             test_cache_refresh_on_add
+        :: cache_qtests );
+      ( "journal",
         [
-          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
-          Alcotest.test_case "re-add refreshes" `Quick
-            test_cache_refresh_on_add;
+          Alcotest.test_case "replay and compaction" `Quick
+            test_journal_replay_and_compaction;
+          Alcotest.test_case "torn tail tolerated" `Quick
+            test_journal_tolerates_torn_tail;
+          Alcotest.test_case "capacity truncates replay" `Quick
+            test_journal_capacity_truncates_replay;
+          Alcotest.test_case "pid lock excludes second writer" `Quick
+            test_journal_lock_excludes_second_writer;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "server fault plans deterministic" `Quick
+            test_chaos_server_plan_deterministic;
+          Alcotest.test_case "invariant checker" `Quick
+            test_chaos_server_invariant_checker;
         ] );
       ( "protocol",
         [
@@ -700,5 +1360,28 @@ let () =
           Alcotest.test_case "shutdown op" `Quick test_server_shutdown_op;
           Alcotest.test_case "sleep gated behind test_ops" `Quick
             test_sleep_gated_behind_test_ops;
+        ] );
+      ( "crash-safety",
+        [
+          Alcotest.test_case "worker kill: respawn and quarantine" `Slow
+            test_server_worker_kill_respawn_and_quarantine;
+          Alcotest.test_case "deadline exceeded in queue" `Slow
+            test_server_deadline_exceeded;
+          Alcotest.test_case "journal survives restart" `Slow
+            test_server_journal_survives_restart;
+          Alcotest.test_case "journal lock excludes second server" `Quick
+            test_server_journal_lock_excludes_second_server;
+          Alcotest.test_case "torn journal fault" `Slow
+            test_server_torn_journal_fault;
+          Alcotest.test_case "stale socket reclaimed" `Quick
+            test_server_reclaims_stale_socket;
+          Alcotest.test_case "live socket never stolen" `Quick
+            test_server_never_steals_live_socket;
+          Alcotest.test_case "client timeout bounds a hung server" `Quick
+            test_client_timeout_bounds_hung_server;
+          Alcotest.test_case "client retry rides out overload" `Slow
+            test_client_retry_rides_out_overload;
+          Alcotest.test_case "non-idempotent never retried" `Quick
+            test_client_never_retries_non_idempotent;
         ] );
     ]
