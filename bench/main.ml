@@ -34,7 +34,16 @@
    completed cell as one JSON line, and --resume skips cells already in
    the --out file, making the expensive tables restartable. The budget is
    enforced as a wall-clock deadline through the solver's cooperative
-   interrupt hook. Tables are rendered from the collected records. *)
+   interrupt hook. Tables are rendered from the collected records.
+
+   --scaling replaces the paper sections with a dimensional sweep over
+   generated instances (Fpgasat_engine.Dims): the grid's cells run through
+   the same Sweep pool (--jobs, --out, --resume, --budget and --certify
+   all apply), per-strategy power-law exponents are fitted from the
+   records (Fpgasat_obs.Fit), --scaling-out writes them as
+   fpgasat.scaling/1 JSON, and --scaling-baseline gates on the fitted
+   exponents — catching regressions in the growth rate, where the
+   fixed-cell perf gate above catches them in the constants. *)
 
 module Sat = Fpgasat_sat
 module G = Fpgasat_graph
@@ -65,12 +74,22 @@ let bench_out = ref ""
 let baseline_file = ref ""
 let gate = ref 0.
 let perf_handicap = ref 0
+let scaling = ref false
+let scaling_grid = ref "smoke"
+let scaling_out = ref ""
+let scaling_baseline = ref ""
+let scaling_gate = ref 0.
+let scaling_handicap = ref 0
+let scaling_repeats = ref 2
+let scaling_strategies = ref "ITE-linear-2+muldirect/s1,muldirect/s1"
 
 let usage =
   "main.exe [--budget SEC] [--sections a,b,c] [--jobs N] [--out FILE.jsonl] \
    [--resume] [--certify] [--chaos] [--chaos-seed N] [--bechamel] \
    [--encode-bench] [--bench-out FILE.json] [--baseline FILE.json] \
-   [--gate RATIO] [--perf-handicap N]"
+   [--gate RATIO] [--perf-handicap N] [--scaling] [--scaling-grid smoke|full] \
+   [--scaling-out FILE.json] [--scaling-baseline FILE.json] \
+   [--scaling-gate TOL] [--scaling-handicap N] [--scaling-strategies LIST]"
 
 let arg_spec =
   [
@@ -119,6 +138,40 @@ let arg_spec =
       Arg.Set_int perf_handicap,
       "N deliberately slow every solve by N spin iterations per conflict \
        (poll_every 1) — for verifying that the perf gate actually fails" );
+    ( "--scaling",
+      Arg.Set scaling,
+      " run the dimensional scaling section (generated instance grid, \
+       fitted per-strategy power-law exponents) and exit" );
+    ( "--scaling-grid",
+      Arg.Set_string scaling_grid,
+      "NAME smoke (2x2x2, CI-sized) or full (the nightly grid; default \
+       smoke)" );
+    ( "--scaling-out",
+      Arg.Set_string scaling_out,
+      "FILE write the fitted exponents as fpgasat.scaling/1 JSON" );
+    ( "--scaling-baseline",
+      Arg.Set_string scaling_baseline,
+      "FILE compare fitted exponents against this baseline and exit \
+       non-zero when one regresses beyond tolerance" );
+    ( "--scaling-gate",
+      Arg.Set_float scaling_gate,
+      "TOL exponent tolerance for --scaling-baseline (absolute; default \
+       0.5)" );
+    ( "--scaling-handicap",
+      Arg.Set_int scaling_handicap,
+      "N deliberately slow every scaling solve by a spin per conflict that \
+       grows as the fourth power of the cell's net count — a size-dependent \
+       slowdown that inflates the fitted nets exponent, for verifying that \
+       the exponent gate actually fails" );
+    ( "--scaling-repeats",
+      Arg.Set_int scaling_repeats,
+      "N best-of-N timing for sub-second scaling cells (default 2) — the \
+       tiny cells anchor the low end of every curve, so shaving their \
+       timer noise stabilises the fitted exponents" );
+    ( "--scaling-strategies",
+      Arg.Set_string scaling_strategies,
+      "LIST comma-separated strategies for the scaling section (default \
+       ITE-linear-2+muldirect/s1,muldirect/s1)" );
   ]
 
 let sweep_config () =
@@ -1493,6 +1546,124 @@ let section_perf_gate () =
           in
           if not (time_report.Obs.Baseline.ok && props_ok) then exit 1)
 
+(* ------------------------------------------------------------------ *)
+(* Scaling: dimensional sweeps over generated instances, fitted to      *)
+(* per-strategy power laws and gated on the exponents                   *)
+
+(* [--scaling-handicap N] is the exponent gate's teeth-check. A uniform
+   per-conflict spin (like --perf-handicap) only scales the constant C of
+   t = C * x^e and leaves the exponent alone, so it could never fail an
+   exponent gate; this one spins N * (nets/8)^4 iterations per conflict —
+   the added cost grows two powers faster than any healthy curve here, so
+   the fitted nets exponent inflates past any sane tolerance. *)
+let scaling_handicap_job (j : Sweep.job) =
+  match F.Generator.of_name j.Sweep.benchmark with
+  | None -> j
+  | Some (p, _) ->
+      let r = float_of_int p.F.Generator.nets /. 8. in
+      let spin =
+        int_of_float (float_of_int !scaling_handicap *. (r ** 4.))
+      in
+      let hook () =
+        let acc = ref 0 in
+        for i = 1 to spin do
+          acc := !acc + i
+        done;
+        ignore (Sys.opaque_identity !acc);
+        false
+      in
+      {
+        j with
+        Sweep.run =
+          (fun ~budget ~certify ~telemetry ~fallback ->
+            let budget =
+              Sat.Solver.with_poll_interval 1
+                (Sat.Solver.interruptible hook budget)
+            in
+            j.Sweep.run ~budget ~certify ~telemetry ~fallback);
+      }
+
+(* Best-of-N on the cheap cells only: a sub-second cell re-runs (the
+   deterministic solver repeats identical work, so the minimum is the
+   cleanest estimate of it), while an expensive cell keeps its first
+   measurement — re-running those would burn budget to shave noise that
+   is already relatively small. *)
+let scaling_rerun_threshold = 1.0
+
+let scaling_repeat_job (j : Sweep.job) =
+  {
+    j with
+    Sweep.run =
+      (fun ~budget ~certify ~telemetry ~fallback ->
+        let decisive (run : Flow.run) =
+          match run.Flow.outcome with
+          | Flow.Routable _ | Flow.Unroutable -> true
+          | Flow.Timeout | Flow.Memout -> false
+        in
+        let total (run : Flow.run) = Flow.total run.Flow.timings in
+        let rec go best n =
+          if
+            n <= 1 || (not (decisive best))
+            || total best > scaling_rerun_threshold
+          then best
+          else
+            let next = j.Sweep.run ~budget ~certify ~telemetry ~fallback in
+            let best =
+              if decisive next && total next < total best then next else best
+            in
+            go best (n - 1)
+        in
+        go (j.Sweep.run ~budget ~certify ~telemetry ~fallback) !scaling_repeats);
+  }
+
+let section_scaling () =
+  let grid =
+    match String.lowercase_ascii !scaling_grid with
+    | "smoke" -> Eng.Dims.smoke
+    | "full" -> Eng.Dims.full
+    | other ->
+        prerr_endline
+          (Printf.sprintf "--scaling-grid: expected smoke or full, got %S"
+             other);
+        exit 2
+  in
+  let strategies =
+    List.map strategy (String.split_on_char ',' !scaling_strategies)
+  in
+  let cells = Eng.Dims.jobs grid ~strategies in
+  let cells =
+    if !scaling_handicap > 0 then List.map scaling_handicap_job cells
+    else cells
+  in
+  let cells =
+    if !scaling_repeats > 1 then List.map scaling_repeat_job cells else cells
+  in
+  Printf.printf "scaling: %s grid, %d cells, %d strategies\n%!" !scaling_grid
+    (List.length cells) (List.length strategies);
+  let records = run_sweep cells in
+  print_string (Sweep.render_table records);
+  print_endline (Sweep.summary records);
+  let current = Eng.Dims.analyze records in
+  print_string (Obs.Fit.render current);
+  if !scaling_out <> "" then begin
+    Obs.Fit.to_file !scaling_out current;
+    Printf.printf "scaling: wrote %s\n" !scaling_out
+  end;
+  match !scaling_baseline with
+  | "" -> ()
+  | path -> (
+      match Obs.Fit.of_file path with
+      | Error m ->
+          prerr_endline (Printf.sprintf "scaling: %s: %s" path m);
+          exit 2
+      | Ok baseline ->
+          let tolerance =
+            if !scaling_gate > 0. then Some !scaling_gate else None
+          in
+          let report = Obs.Fit.gate ?tolerance ~baseline ~current () in
+          print_endline (Obs.Fit.render_gate report);
+          if not report.Obs.Fit.gate_ok then exit 1)
+
 let () =
   Arg.parse arg_spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
   (match String.lowercase_ascii !emission with
@@ -1503,6 +1674,10 @@ let () =
       exit 2);
   if !encode_bench_only then begin
     section_encode_bench ();
+    exit 0
+  end;
+  if !scaling then begin
+    section_scaling ();
     exit 0
   end;
   if !bench_out <> "" || !baseline_file <> "" then begin

@@ -670,6 +670,16 @@ let report_cmd =
                    the $(b,telemetry) key — sweeps run with \
                    $(b,--telemetry)).")
   in
+  let scaling_arg =
+    Arg.(value & flag
+         & info [ "scaling" ]
+             ~doc:"Also fit per-strategy power-law scaling exponents over \
+                   the generated-instance records in the file (benchmarks \
+                   named $(b,gen:)...; see $(b,bench --scaling)) and print \
+                   the exponent and crossover tables. The fit is a pure \
+                   function of the records, so re-running it on the same \
+                   file always prints the same exponents.")
+  in
   let median xs =
     match List.sort Float.compare xs with
     | [] -> nan
@@ -708,11 +718,20 @@ let report_cmd =
         (List.rev !order)
     end
   in
-  let run file strict require_certified telemetry =
+  let scaling_summary records =
+    let doc = Eng.Dims.analyze records in
+    if doc.Obs.Fit.fits = [] then
+      print_endline
+        "scaling: no fittable generated-instance records (need decisive \
+         gen:* cells varying along a dimension)"
+    else print_string (Obs.Fit.render doc)
+  in
+  let run file strict require_certified telemetry scaling =
     let records, bad = Eng.Sweep.load file in
     print_string (Eng.Sweep.render_table records);
     Printf.printf "%s\n" (Eng.Sweep.summary records);
     if telemetry then telemetry_summary records;
+    if scaling then scaling_summary records;
     if bad > 0 then Printf.printf "unparsable lines: %d\n" bad;
     let crashed =
       List.exists
@@ -746,7 +765,7 @@ let report_cmd =
        ~doc:"Render a sweep's JSONL records as the benchmarks × strategies \
              table (a pure view over the file).")
     Term.(ret (const run $ file_arg $ strict_arg $ require_certified_arg
-               $ telemetry_arg))
+               $ telemetry_arg $ scaling_arg))
 
 (* ---------- trace ---------- *)
 

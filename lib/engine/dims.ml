@@ -1,0 +1,194 @@
+module F = Fpgasat_fpga
+module Gen = F.Generator
+module Fit = Fpgasat_obs.Fit
+
+type axis = { dim : string; values : int list }
+
+type grid = {
+  base : Gen.params;
+  axes : axis list;
+  family : Gen.family;
+}
+
+let dimensions = [ "grid"; "nets"; "width" ]
+
+let set_dim (p : Gen.params) dim v =
+  match dim with
+  | "grid" -> { p with Gen.grid = v }
+  | "nets" -> { p with Gen.nets = v }
+  | "width" -> { p with Gen.width = v }
+  | d -> invalid_arg (Printf.sprintf "Dims: unknown dimension %S" d)
+
+let get_dim (p : Gen.params) = function
+  | "grid" -> p.Gen.grid
+  | "nets" -> p.Gen.nets
+  | "width" -> p.Gen.width
+  | d -> invalid_arg (Printf.sprintf "Dims: unknown dimension %S" d)
+
+let smoke =
+  {
+    base = Gen.default_params;
+    axes =
+      [
+        { dim = "grid"; values = [ 6; 8 ] };
+        { dim = "nets"; values = [ 96; 160 ] };
+        { dim = "width"; values = [ 4; 6 ] };
+      ];
+    family = Gen.Unroutable;
+  }
+
+let full =
+  {
+    base = Gen.default_params;
+    axes =
+      [
+        { dim = "grid"; values = [ 5; 7; 9; 11 ] };
+        { dim = "nets"; values = [ 32; 48; 64; 96 ] };
+        { dim = "width"; values = [ 4; 5; 6 ] };
+      ];
+    family = Gen.Unroutable;
+  }
+
+let cells g =
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun a ->
+      if not (List.mem a.dim dimensions) then
+        invalid_arg (Printf.sprintf "Dims.cells: unknown dimension %S" a.dim);
+      if Hashtbl.mem seen a.dim then
+        invalid_arg (Printf.sprintf "Dims.cells: duplicate dimension %S" a.dim);
+      Hashtbl.add seen a.dim ();
+      if a.values = [] then
+        invalid_arg (Printf.sprintf "Dims.cells: dimension %S has no values" a.dim))
+    g.axes;
+  List.fold_left
+    (fun acc a ->
+      List.concat_map
+        (fun p -> List.map (fun v -> set_dim p a.dim v) a.values)
+        acc)
+    [ g.base ] g.axes
+
+let jobs g ~strategies =
+  List.concat_map
+    (fun p ->
+      let inst = Gen.build p g.family in
+      let benchmark = Gen.name p g.family in
+      List.map
+        (fun s ->
+          Sweep.cell ~benchmark s inst.Gen.route ~width:inst.Gen.solve_width)
+        strategies)
+    (cells g)
+
+(* ---------- analysis ---------- *)
+
+(* The group key: every coordinate except the fitted dimension, plus the
+   family — points sharing it differ only along the dimension, so they
+   share an intercept in the pooled fit. *)
+let group_of (p : Gen.params) family ~except =
+  let coords =
+    List.filter_map
+      (fun (tag, dim, v) ->
+        if dim = except then None else Some (Printf.sprintf "%c%d" tag v))
+      [ ('g', "grid", p.Gen.grid); ('n', "nets", p.Gen.nets);
+        ('w', "width", p.Gen.width) ]
+  in
+  String.concat ":"
+    (coords
+    @ [
+        Printf.sprintf "f%d" p.Gen.max_fanout;
+        Printf.sprintf "l%d" p.Gen.locality;
+        Printf.sprintf "s%d" p.Gen.seed;
+        Gen.family_name family;
+      ])
+
+let dedup xs =
+  List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
+  |> List.rev
+
+let crossover_range_min = 1.
+let crossover_range_max = 1e6
+
+let analyze records =
+  let parsed =
+    List.filter_map
+      (fun (r : Run_record.t) ->
+        match Gen.of_name r.Run_record.benchmark with
+        | Some (p, fam) -> Some (r, p, fam)
+        | None -> None)
+      records
+  in
+  let strategies =
+    dedup (List.map (fun (r, _, _) -> r.Run_record.strategy) parsed)
+  in
+  let fits =
+    List.concat_map
+      (fun strategy ->
+        let mine =
+          List.filter
+            (fun (r, _, _) -> r.Run_record.strategy = strategy)
+            parsed
+        in
+        let decisive, censored_cells =
+          List.partition (fun (r, _, _) -> Run_record.decisive r) mine
+        in
+        let censored = List.length censored_cells in
+        List.filter_map
+          (fun dim ->
+            let points =
+              List.map
+                (fun (r, p, fam) ->
+                  {
+                    Fit.x = float_of_int (get_dim p dim);
+                    y = Run_record.total_seconds r;
+                    group = group_of p fam ~except:dim;
+                  })
+                decisive
+            in
+            match Fit.power_law ~strategy ~dimension:dim ~censored points with
+            | Ok f -> Some f
+            | Error _ -> None)
+          dimensions)
+      strategies
+  in
+  let crossovers =
+    List.concat_map
+      (fun dim ->
+        let here =
+          List.filter (fun (f : Fit.fit) -> f.Fit.dimension = dim) fits
+        in
+        let rec pairs = function
+          | [] -> []
+          | f :: rest -> List.map (fun f' -> (f, f')) rest @ pairs rest
+        in
+        List.filter_map
+          (fun ((f1 : Fit.fit), (f2 : Fit.fit)) ->
+            match Fit.crossover_of_fits f1 f2 with
+            | Some at
+              when at >= crossover_range_min && at <= crossover_range_max ->
+                let slow, fast =
+                  if f1.Fit.exponent >= f2.Fit.exponent then (f1, f2)
+                  else (f2, f1)
+                in
+                Some
+                  {
+                    Fit.dimension = dim;
+                    slow = slow.Fit.strategy;
+                    fast = fast.Fit.strategy;
+                    at;
+                  }
+            | _ -> None)
+          (pairs here))
+      dimensions
+  in
+  let seed =
+    match parsed with [] -> 0 | (_, p, _) :: _ -> p.Gen.seed
+  in
+  let family =
+    let has f = List.exists (fun (_, _, fam) -> fam = f) parsed in
+    match (has Gen.Routable, has Gen.Unroutable) with
+    | true, true -> "mixed"
+    | true, false -> "sat"
+    | false, true -> "unsat"
+    | false, false -> "mixed"
+  in
+  { Fit.seed; family; fits; crossovers }

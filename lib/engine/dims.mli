@@ -1,0 +1,72 @@
+(** Dimensional benchmarking: grids of generated instances over the three
+    size axes, driven through {!Sweep}, analysed into fitted scaling laws.
+
+    {!Fpgasat_fpga.Generator} supplies the axes (array size × net count ×
+    channel width) and {!Fpgasat_obs.Fit} the statistics; this module is
+    the glue the ROADMAP's "dimensional benchmarking" item asks for:
+
+    - a {!grid} is a base parameter point plus per-dimension value lists;
+      its cells are the cartesian product, each a deterministic generated
+      instance whose name encodes its coordinates (so sweep records are
+      self-describing and [--resume] Just Works);
+    - {!jobs} turns a grid × strategy list into ordinary {!Sweep.job}s, so
+      dimensional sweeps reuse the engine's budgets, retry, quarantine,
+      streamed JSONL and resume unchanged;
+    - {!analyze} is a {b pure} function from run records back to fitted
+      per-strategy power laws: it parses the generator coordinates out of
+      each record's benchmark name, ignores foreign records (fixed
+      benchmarks sharing the file), excludes non-decisive cells as
+      censored, and fits one exponent per strategy × dimension with
+      {!Fpgasat_obs.Fit.power_law}. Same records in, bit-identical
+      {!Fpgasat_obs.Fit.scaling} out — on any machine. *)
+
+type axis = {
+  dim : string;  (** ["grid"], ["nets"] or ["width"]. *)
+  values : int list;  (** Ascending; at least one. *)
+}
+
+type grid = {
+  base : Fpgasat_fpga.Generator.params;
+      (** Coordinates not named by an axis stay at these values. *)
+  axes : axis list;
+  family : Fpgasat_fpga.Generator.family;
+}
+
+val dimensions : string list
+(** [["grid"; "nets"; "width"]] — the valid {!axis.dim} names. *)
+
+val smoke : grid
+(** The CI-sized 2×2×2 unroutable grid: 8 instances small enough that the
+    full sweep plus fit finishes in seconds, yet every dimension still has
+    two points per group so every exponent is identifiable. *)
+
+val full : grid
+(** The nightly grid: 4×4×3 unroutable, 48 instances reaching sizes where
+    per-strategy exponents separate. Meant to run with [--resume] so the
+    curve accumulates across nightly jobs. *)
+
+val cells : grid -> Fpgasat_fpga.Generator.params list
+(** The cartesian product, axes varying in list order (last axis fastest).
+    Raises [Invalid_argument] on an unknown {!axis.dim}, a duplicate
+    dimension, or an empty value list. *)
+
+val jobs :
+  grid -> strategies:Fpgasat_core.Strategy.t list -> Sweep.job list
+(** One job per cell × strategy (strategies innermost). Each cell's
+    instance is built once ({!Fpgasat_fpga.Generator.build}) and shared by
+    its strategies; the job's benchmark is {!Fpgasat_fpga.Generator.name}
+    and its width the instance's [solve_width], so the record key is a
+    pure function of the grid. *)
+
+val analyze : Run_record.t list -> Fpgasat_obs.Fit.scaling
+(** Pure. Keeps only records whose benchmark parses via
+    {!Fpgasat_fpga.Generator.of_name}; decisive ones contribute points
+    (x = the record's coordinate on the dimension, y =
+    {!Run_record.total_seconds}, group = every other coordinate plus the
+    family), non-decisive ones are counted as censored and excluded.
+    Dimensions along which the records never vary produce no fit (the
+    exponent is unidentifiable) — the gate then reports them as missing
+    rather than this function guessing. Crossovers are computed per
+    dimension for every strategy pair and kept only in the plausible range
+    [\[1, 1e6\]]. The document's [seed] is the first parsed record's seed
+    and [family] is ["sat"], ["unsat"] or ["mixed"] as observed. *)

@@ -12,5 +12,6 @@ module Congestion = Congestion
 module Conflict_graph = Conflict_graph
 module Detailed_route = Detailed_route
 module Benchmarks = Benchmarks
+module Generator = Generator
 module Serial = Serial
 module Render = Render

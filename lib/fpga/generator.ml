@@ -1,0 +1,113 @@
+module G = Fpgasat_graph
+
+type params = {
+  grid : int;
+  nets : int;
+  width : int;
+  max_fanout : int;
+  locality : int;
+  seed : int;
+}
+
+type family = Routable | Unroutable
+
+type instance = {
+  params : params;
+  family : family;
+  arch : Arch.t;
+  netlist : Netlist.t;
+  route : Global_route.t;
+  graph : G.Graph.t;
+  clique_bound : int;
+  dsatur_bound : int;
+  solve_width : int;
+}
+
+let default_params =
+  { grid = 7; nets = 48; width = 5; max_fanout = 3; locality = 2; seed = 2008 }
+
+let family_name = function Routable -> "sat" | Unroutable -> "unsat"
+
+let family_of_name = function
+  | "sat" -> Some Routable
+  | "unsat" -> Some Unroutable
+  | _ -> None
+
+let name p family =
+  Printf.sprintf "gen:g%d:n%d:w%d:f%d:l%d:s%d:%s" p.grid p.nets p.width
+    p.max_fanout p.locality p.seed (family_name family)
+
+(* Inverse of [name]: "gen" then six tagged non-negative ints in a fixed
+   order, then the family tag. Anything else — including the fixed
+   benchmark names — is None, never an exception. *)
+let of_name s =
+  let tagged tag field =
+    let n = String.length field in
+    if n < 2 || field.[0] <> tag then None
+    else
+      match int_of_string_opt (String.sub field 1 (n - 1)) with
+      | Some v when v >= 0 -> Some v
+      | _ -> None
+  in
+  match String.split_on_char ':' s with
+  | [ "gen"; g; n; w; f; l; sd; fam ] -> (
+      match
+        ( tagged 'g' g,
+          tagged 'n' n,
+          tagged 'w' w,
+          tagged 'f' f,
+          tagged 'l' l,
+          tagged 's' sd,
+          family_of_name fam )
+      with
+      | Some grid, Some nets, Some width, Some max_fanout, Some locality,
+        Some seed, Some family ->
+          Some ({ grid; nets; width; max_fanout; locality; seed }, family)
+      | _ -> None)
+  | _ -> None
+
+let build p family =
+  if p.grid < 1 then invalid_arg "Generator.build: grid < 1";
+  if p.nets < 1 then invalid_arg "Generator.build: nets < 1";
+  if p.width < 1 then invalid_arg "Generator.build: width < 1";
+  if p.max_fanout < 1 then invalid_arg "Generator.build: max_fanout < 1";
+  let arch = Arch.create p.grid in
+  (* Mix the coordinates into the seed so every grid point draws its own
+     stream: a pure function of [params], so determinism is preserved,
+     but cells along the nets axis are not prefixes of one another. *)
+  let rng = Rng.create (p.seed lxor (p.grid * 0x9e37) lxor (p.nets * 0x79b9)) in
+  let netlist =
+    Netlist.random ~rng ~arch ~num_nets:p.nets ~max_fanout:p.max_fanout
+      ~locality:(max 1 p.locality)
+  in
+  let router = { Global_router.default_params with capacity = p.width } in
+  let route = Global_router.route ~params:router arch netlist in
+  let graph = Conflict_graph.build route in
+  let clique_bound = G.Clique.lower_bound graph in
+  let dsatur_bound = max 1 (G.Greedy.upper_bound graph) in
+  let solve_width =
+    match family with
+    | Unroutable -> max 1 (clique_bound - 1)
+    | Routable -> dsatur_bound
+  in
+  {
+    params = p;
+    family;
+    arch;
+    netlist;
+    route;
+    graph;
+    clique_bound;
+    dsatur_bound;
+    solve_width;
+  }
+
+let provably_unroutable i = i.clique_bound > i.solve_width
+
+let pp_instance fmt i =
+  Format.fprintf fmt
+    "%s: grid=%dx%d nets=%d subnets=%d conflict=%a clique>=%d dsatur<=%d W=%d"
+    (name i.params i.family) i.params.grid i.params.grid
+    (Netlist.num_nets i.netlist)
+    (Netlist.num_subnets i.netlist)
+    G.Graph.pp i.graph i.clique_bound i.dsatur_bound i.solve_width

@@ -1,0 +1,90 @@
+(** Seeded, parameterized instance families for dimensional benchmarking.
+
+    The bundled {!Benchmarks} are eight fixed points; this module is the
+    size {e axes}: a VLSAT-style generator (cf. Bouvier & Garavel's
+    parameterized benchmark suites) that emits arbitrarily large instances
+    from three orthogonal dimensions — FPGA array size, net count, and
+    channel width (the router's negotiated per-segment capacity) — in two
+    families:
+
+    - {b Unroutable}: the width question is asked one track {e below} the
+      conflict graph's greedy clique lower bound, so the instance is
+      unroutable by construction (a [c]-clique of mutually conflicting
+      subnets cannot share [c - 1] tracks) yet the SAT solver must still
+      {e prove} it — these are the pigeonhole-flavoured refutations whose
+      cost grows steeply along every axis;
+    - {b Routable}: the width question is asked at the DSATUR upper bound,
+      so a routing exists by construction (the greedy colouring witnesses
+      it) and the solver's job is to find one.
+
+    Everything is deterministic from the parameter record: the same
+    [params] yield bit-identical netlists, routings and conflict graphs on
+    every machine ({!Rng} is the fixed xorshift64-star generator), so cell
+    names double as resume keys in sweep records and the committed scaling
+    baselines stay reproducible. *)
+
+type params = {
+  grid : int;  (** FPGA array size [n × n]; the "grid" dimension. *)
+  nets : int;  (** Multi-pin nets; the "nets" dimension. *)
+  width : int;
+      (** Channel-width axis: the global router's negotiated per-segment
+          capacity. More tracks negotiated over the same fabric means
+          larger conflict cliques, which is what scales the width
+          dimension of the UNSAT families. *)
+  max_fanout : int;  (** Sinks per net, uniform in [1 .. max_fanout]. *)
+  locality : int;  (** Chebyshev radius of sink placement (Rent-style). *)
+  seed : int;  (** Every derived instance is a pure function of this. *)
+}
+
+type family = Routable | Unroutable
+
+type instance = {
+  params : params;
+  family : family;
+  arch : Arch.t;
+  netlist : Netlist.t;
+  route : Global_route.t;
+  graph : Fpgasat_graph.Graph.t;  (** Conflict graph of the routing. *)
+  clique_bound : int;
+      (** Greedy clique lower bound on the channel width — colouring below
+          it is impossible. *)
+  dsatur_bound : int;
+      (** DSATUR upper bound — colouring at it always exists. *)
+  solve_width : int;
+      (** The width whose routability question defines the cell:
+          [clique_bound - 1] (clamped to 1) for {!Unroutable},
+          [dsatur_bound] for {!Routable}. *)
+}
+
+val default_params : params
+(** [grid = 7], [nets = 48], [width = 5], [max_fanout = 3],
+    [locality = 2], [seed = 2008] — the base coordinate the dimensional
+    grids vary around. *)
+
+val family_name : family -> string
+(** ["sat"] / ["unsat"]. *)
+
+val family_of_name : string -> family option
+
+val name : params -> family -> string
+(** The cell identity, e.g. ["gen:g7:n48:w5:f3:l2:s2008:unsat"] — used as
+    the [benchmark] field of sweep records. Total and injective:
+    {!of_name} inverts it. *)
+
+val of_name : string -> (params * family) option
+(** Parses {!name}'s format back; [None] for anything else (in particular
+    the fixed {!Benchmarks} names), which is how the scaling analysis
+    ignores foreign records sharing a results file. *)
+
+val build : params -> family -> instance
+(** Deterministic: same parameters, same instance. Raises
+    [Invalid_argument] on non-positive [grid], [nets], [width] or
+    [max_fanout]. *)
+
+val provably_unroutable : instance -> bool
+(** [clique_bound > solve_width] — true for every {!Unroutable} instance
+    whose conflict graph has at least one edge. Degenerate parameter
+    points (so few nets that nothing conflicts) fall back to a routable
+    width-1 question; the sweep records their actual outcome either way. *)
+
+val pp_instance : Format.formatter -> instance -> unit

@@ -6,9 +6,12 @@
     with JSON and Chrome [trace_event] dumps; {!Telemetry} derives per-solve
     rates (propagations/s, conflicts/s, LBD histogram, allocation, peak
     heap) that ride the run-record schema; {!Baseline} compares two bench
-    JSON files and powers the CI perf-regression gate. *)
+    JSON files and powers the CI perf-regression gate; {!Fit} fits
+    power-law scaling exponents over dimensional sweeps and powers the
+    exponent-regression gate. *)
 
 module Json = Json
 module Trace = Trace
 module Telemetry = Telemetry
 module Baseline = Baseline
+module Fit = Fit
